@@ -1,0 +1,88 @@
+// Command ttebench runs the benchmark harness: it regenerates the tables
+// and figures of the paper's evaluation section (§6) on the synthetic
+// cities and prints them in the paper's layout.
+//
+// Usage:
+//
+//	ttebench                      # every experiment at the default scale
+//	ttebench -scale small         # full-strength three-city run (slow)
+//	ttebench -exp table4,fig9     # a subset
+//
+// Experiments: table2 table3 table4 table5 table6 table7 fig5a fig8 fig9
+// fig11 fig12 fig13 fig14a fig14b embedstudy ext-route (table3 prints
+// Figure 10 as well).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"deepod/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ttebench: ")
+	var (
+		scaleName = flag.String("scale", "tiny", "experiment scale: tiny, shape or small")
+		expList   = flag.String("exp", "all", "comma-separated experiment list or 'all'")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = experiments.TinyScale()
+	case "shape":
+		sc = experiments.ShapeScale()
+	case "small":
+		sc = experiments.SmallScale()
+	default:
+		log.Fatalf("unknown scale %q (want tiny, shape or small)", *scaleName)
+	}
+
+	want := map[string]bool{}
+	all := *expList == "all"
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	selected := func(name string) bool { return all || want[name] }
+
+	suite := experiments.NewSuite(sc)
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		if !selected(name) {
+			return
+		}
+		start := time.Now()
+		res, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table2", func() (fmt.Stringer, error) { return experiments.RunTable2(sc) })
+	run("fig5a", func() (fmt.Stringer, error) { return experiments.RunFigure5a(sc) })
+	run("table3", func() (fmt.Stringer, error) { return experiments.RunTable3Figure10(suite) })
+	run("table4", func() (fmt.Stringer, error) { return experiments.RunTable4(suite) })
+	run("table5", func() (fmt.Stringer, error) { return experiments.RunTable5(suite) })
+	run("table6", func() (fmt.Stringer, error) { return experiments.RunTable6(suite) })
+	run("table7", func() (fmt.Stringer, error) { return experiments.RunTable7(suite) })
+	run("fig8", func() (fmt.Stringer, error) { return experiments.RunFigure8(sc, nil) })
+	run("fig9", func() (fmt.Stringer, error) {
+		return experiments.RunFigure9(sc, sc.CityList()[0], nil)
+	})
+	run("fig11", func() (fmt.Stringer, error) { return experiments.RunFigure11(suite, sc.CityList()[0]) })
+	run("fig12", func() (fmt.Stringer, error) { return experiments.RunFigure12(suite, sc.CityList()[0], 50) })
+	run("fig13", func() (fmt.Stringer, error) { return experiments.RunFigure13(suite, sc.CityList()[0], 50) })
+	run("fig14a", func() (fmt.Stringer, error) {
+		return experiments.RunFigure14a(sc, sc.CityList()[0], nil)
+	})
+	run("fig14b", func() (fmt.Stringer, error) { return experiments.RunFigure14b(suite, sc.CityList()[0]) })
+	run("embedstudy", func() (fmt.Stringer, error) { return experiments.RunEmbedStudy(sc) })
+	run("ext-route", func() (fmt.Stringer, error) { return experiments.RunExtRoute(suite) })
+}

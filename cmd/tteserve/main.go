@@ -1,0 +1,133 @@
+// Command tteserve exposes OD travel-time estimation over HTTP — the
+// paper's "online estimation" stage (Algorithm 1) as a service. It either
+// loads a model saved by ttetrain or trains one at startup, then answers
+// JSON estimation requests:
+//
+//	tteserve -city chengdu-s -model model.gob -addr :8080
+//
+//	POST /estimate
+//	{"origin":{"X":500,"Y":700},"dest":{"X":1900,"Y":2100},"depart_sec":36000}
+//	→ {"travel_seconds":412.7,"travel_human":"6m52s"}
+//
+//	GET /healthz → {"status":"ok", ...}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"deepod"
+	"deepod/internal/core"
+	"deepod/internal/mapmatch"
+)
+
+type server struct {
+	city    *deepod.City
+	model   *core.Model
+	matcher *mapmatch.Matcher
+}
+
+type estimateRequest struct {
+	Origin    deepod.Point `json:"origin"`
+	Dest      deepod.Point `json:"dest"`
+	DepartSec float64      `json:"depart_sec"`
+}
+
+type estimateResponse struct {
+	TravelSeconds float64 `json:"travel_seconds"`
+	TravelHuman   string  `json:"travel_human"`
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.DepartSec < 0 {
+		http.Error(w, "depart_sec must be non-negative", http.StatusBadRequest)
+		return
+	}
+	od := deepod.ODInput{
+		Origin: req.Origin, Dest: req.Dest, DepartSec: req.DepartSec,
+		External: s.city.Grid.External(req.DepartSec),
+	}
+	matched, err := deepod.MatchOD(s.matcher, od)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("map matching failed: %v", err), http.StatusUnprocessableEntity)
+		return
+	}
+	sec := s.model.Estimate(&matched)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(estimateResponse{
+		TravelSeconds: sec,
+		TravelHuman:   time.Duration(sec * float64(time.Second)).Round(time.Second).String(),
+	})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"status":  "ok",
+		"city":    s.city.Name,
+		"edges":   s.city.Graph.NumEdges(),
+		"weights": s.model.NumWeights(),
+	})
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tteserve: ")
+	var (
+		city      = flag.String("city", "chengdu-s", "city preset")
+		orders    = flag.Int("orders", 1200, "orders used if training at startup")
+		seed      = flag.Int64("seed", 1, "random seed")
+		modelPath = flag.String("model", "", "model saved by ttetrain (empty = train at startup)")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	c, err := deepod.BuildCity(*city, deepod.CityOptions{Orders: *orders, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m *core.Model
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = core.Load(f, c.Graph)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded model from %s", *modelPath)
+	} else {
+		log.Printf("training model on %d orders...", *orders)
+		cfg := deepod.SmallConfig()
+		m, err = deepod.Train(cfg, c, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	matcher, err := deepod.NewMatcher(c.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{city: c, model: m, matcher: matcher}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	log.Printf("serving %s on %s", *city, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,116 @@
+// Embeddings: look inside the two embedding matrices DeepOD learns. The
+// example pre-trains and fine-tunes a model, then (a) prints an hour×day
+// sketch of the 1-D t-SNE projection of the time-slot embeddings — the
+// paper's Figure 14b heatmap, which visualizes daily and weekly periodicity
+// — and (b) runs nearest-neighbor queries on the road-segment embeddings to
+// show that adjacent road segments land close in the latent space.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"deepod"
+	"deepod/internal/tsne"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	city, err := deepod.BuildCity("chengdu-s", deepod.CityOptions{Orders: 1200, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := deepod.Train(deepod.SmallConfig(), city, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Figure 14b-style heatmap of the time-slot embeddings ---
+	slotEmb := model.SlotEmbeddingTable()
+	slotter := model.Slotter()
+	vecs := make([][]float64, slotEmb.V)
+	for i := 0; i < slotEmb.V; i++ {
+		vecs[i] = slotEmb.W.Value.Row(i).Data
+	}
+	proj, err := tsne.Embed(vecs, tsne.DefaultConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	perHour := slotter.SlotsPerDay / 24
+	if perHour < 1 {
+		perHour = 1
+	}
+	var heat [7][24]float64
+	var counts [7][24]int
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range proj {
+		d := slotter.DayOfWeek(i) % 7
+		h := slotter.SlotOfDay(i) / perHour
+		if h > 23 {
+			h = 23
+		}
+		heat[d][h] += proj[i][0]
+		counts[d][h]++
+	}
+	for d := 0; d < 7; d++ {
+		for h := 0; h < 24; h++ {
+			if counts[d][h] > 0 {
+				heat[d][h] /= float64(counts[d][h])
+			}
+			lo = math.Min(lo, heat[d][h])
+			hi = math.Max(hi, heat[d][h])
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	fmt.Println("time-slot embeddings, 1-D t-SNE (rows = days, cols = hours):")
+	fmt.Println("     0         6         12        18       23")
+	days := []string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+	for d := 0; d < 7; d++ {
+		row := make([]byte, 24)
+		for h := 0; h < 24; h++ {
+			level := 0
+			if hi > lo {
+				level = int((heat[d][h] - lo) / (hi - lo) * float64(len(shades)-1))
+			}
+			row[h] = shades[level]
+		}
+		fmt.Printf("%s  %s\n", days[d], string(row))
+	}
+	fmt.Println("(similar columns across rows = daily periodicity; the weekend rows differ)")
+
+	// --- Nearest neighbors in the road-segment embedding space ---
+	roadEmb := model.RoadEmbeddingTable()
+	g := city.Graph
+	query := 0
+	type scored struct {
+		edge int
+		dist float64
+	}
+	qv := roadEmb.W.Value.Row(query)
+	var all []scored
+	for e := 0; e < roadEmb.V; e++ {
+		if e == query {
+			continue
+		}
+		ev := roadEmb.W.Value.Row(e)
+		var d float64
+		for k := range qv.Data {
+			diff := qv.Data[k] - ev.Data[k]
+			d += diff * diff
+		}
+		all = append(all, scored{edge: e, dist: math.Sqrt(d)})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].dist < all[j].dist })
+	qe := g.Edges[query]
+	fmt.Printf("\nnearest neighbors of road segment %d (%v→%v, %s):\n",
+		query, qe.From, qe.To, qe.Class)
+	for _, s := range all[:5] {
+		e := g.Edges[s.edge]
+		fmt.Printf("  segment %4d (%3v→%3v, %-8s)  latent distance %.3f\n",
+			s.edge, e.From, e.To, e.Class, s.dist)
+	}
+	fmt.Println("(graph-adjacent segments should dominate this list)")
+}

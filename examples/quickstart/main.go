@@ -1,0 +1,82 @@
+// Quickstart: synthesize a small city, train DeepOD, evaluate it against a
+// baseline, and estimate one trip — the minimal end-to-end tour of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepod"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build a synthetic city with taxi orders (the stand-in for the
+	//    paper's ride-hailing datasets). Same options → same city.
+	city, err := deepod.BuildCity("chengdu-s", deepod.CityOptions{
+		Orders:      1500,
+		HorizonDays: 28,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city %s: %d road segments, %d orders (train/valid/test = %d/%d/%d)\n",
+		city.Name, city.Graph.NumEdges(), len(city.Records),
+		len(city.Split.Train), len(city.Split.Valid), len(city.Split.Test))
+
+	// 2. Train DeepOD. SmallConfig is the laptop-scale configuration; use
+	//    PaperConfig for the paper's §6.2 sizes.
+	cfg := deepod.SmallConfig()
+	start := time.Now()
+	model, stats, err := deepod.TrainWithStats(cfg, city, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DeepOD trained: %d steps in %v (validation MAE %.1fs)\n",
+		stats.Steps, time.Since(start).Round(time.Millisecond), stats.FinalValMAE)
+
+	// 3. Evaluate on the held-out test trips, next to a classical baseline.
+	mae, mape, mare := deepod.Evaluate(estimator{model}, city.Split.Test)
+	fmt.Printf("DeepOD  test: MAE=%.1fs MAPE=%.1f%% MARE=%.1f%%\n", mae, mape*100, mare*100)
+
+	gbm, err := deepod.Baseline("GBM", city.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gbm.Train(city.Split.Train, city.Split.Valid); err != nil {
+		log.Fatal(err)
+	}
+	bmae, bmape, bmare := deepod.Evaluate(gbm, city.Split.Test)
+	fmt.Printf("GBM     test: MAE=%.1fs MAPE=%.1f%% MARE=%.1f%%\n", bmae, bmape*100, bmare*100)
+
+	// 4. Estimate a single future trip: match raw coordinates to the road
+	//    network, then ask the model.
+	matcher, err := deepod.NewMatcher(city.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trip := deepod.ODInput{
+		Origin:    deepod.Point{X: 400, Y: 300},
+		Dest:      deepod.Point{X: 1900, Y: 2100},
+		DepartSec: 8.5 * 3600, // 08:30 on day 0
+	}
+	trip.External = city.Grid.External(trip.DepartSec)
+	matched, err := deepod.MatchOD(matcher, trip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eta := model.Estimate(&matched)
+	fmt.Printf("trip (%.0f,%.0f)→(%.0f,%.0f) departing 08:30: estimated %s\n",
+		trip.Origin.X, trip.Origin.Y, trip.Dest.X, trip.Dest.Y,
+		time.Duration(eta*float64(time.Second)).Round(time.Second))
+}
+
+// estimator adapts *deepod.Model to the Estimator interface.
+type estimator struct{ m *deepod.Model }
+
+func (e estimator) Name() string                          { return "DeepOD" }
+func (e estimator) Estimate(od *deepod.MatchedOD) float64 { return e.m.Estimate(od) }

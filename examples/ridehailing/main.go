@@ -1,0 +1,104 @@
+// Ridehailing: the scenario that motivates the paper — a ride-hailing
+// platform answering ETA queries online. The example trains DeepOD, exposes
+// it over HTTP (the same endpoint cmd/tteserve serves), and plays a morning
+// of pickup requests against it, comparing the answers with the simulator's
+// ground truth.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"deepod"
+)
+
+type estimateRequest struct {
+	Origin    deepod.Point `json:"origin"`
+	Dest      deepod.Point `json:"dest"`
+	DepartSec float64      `json:"depart_sec"`
+}
+
+type estimateResponse struct {
+	TravelSeconds float64 `json:"travel_seconds"`
+}
+
+func main() {
+	log.SetFlags(0)
+
+	city, err := deepod.BuildCity("xian-s", deepod.CityOptions{Orders: 1200, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := deepod.Train(deepod.SmallConfig(), city, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matcher, err := deepod.NewMatcher(city.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve /estimate on a loopback port.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req estimateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		od := deepod.ODInput{
+			Origin: req.Origin, Dest: req.Dest, DepartSec: req.DepartSec,
+			External: city.Grid.External(req.DepartSec),
+		}
+		matched, err := deepod.MatchOD(matcher, od)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		json.NewEncoder(w).Encode(estimateResponse{TravelSeconds: model.Estimate(&matched)})
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("ETA service for %s listening on %s\n", city.Name, base)
+
+	// Replay ten held-out test trips as live requests.
+	rng := rand.New(rand.NewSource(9))
+	var sumAbs, sumAct float64
+	for i := 0; i < 10; i++ {
+		rec := &city.Split.Test[rng.Intn(len(city.Split.Test))]
+		body, _ := json.Marshal(estimateRequest{
+			Origin: rec.OD.Origin, Dest: rec.OD.Dest, DepartSec: rec.OD.DepartSec,
+		})
+		resp, err := http.Post(base+"/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var er estimateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("  request %2d: predicted %7s   actual %7s\n", i+1,
+			time.Duration(er.TravelSeconds*float64(time.Second)).Round(time.Second),
+			time.Duration(rec.TravelSec*float64(time.Second)).Round(time.Second))
+		diff := er.TravelSeconds - rec.TravelSec
+		if diff < 0 {
+			diff = -diff
+		}
+		sumAbs += diff
+		sumAct += rec.TravelSec
+	}
+	fmt.Printf("sampled MARE over 10 requests: %.1f%%\n", sumAbs/sumAct*100)
+}

@@ -1,0 +1,3 @@
+module deepod
+
+go 1.22

@@ -1,0 +1,251 @@
+package citysim
+
+import (
+	"math"
+	"testing"
+
+	"deepod/internal/roadnet"
+	"deepod/internal/timeslot"
+)
+
+func testCity(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	g, err := roadnet.GenerateCity(roadnet.SmallCity("sim", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testTraffic(t testing.TB) *Traffic {
+	t.Helper()
+	tf, err := NewTraffic(testCity(t), 14*timeslot.SecondsPerDay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tf
+}
+
+func TestTrafficValidation(t *testing.T) {
+	if _, err := NewTraffic(testCity(t), 0, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestCongestionBounds(t *testing.T) {
+	tf := testTraffic(t)
+	g := tf.Graph()
+	for e := 0; e < g.NumEdges(); e += 7 {
+		for h := 0.0; h < 48; h += 1.5 {
+			c := tf.Congestion(roadnet.EdgeID(e), h*3600)
+			if c <= 0 || c > 1 {
+				t.Fatalf("congestion out of (0,1]: %v at edge %d hour %.1f", c, e, h)
+			}
+		}
+	}
+}
+
+func TestRushHourSlowsTraffic(t *testing.T) {
+	tf := testTraffic(t)
+	g := tf.Graph()
+	// Average across edges: 8:30 weekday must be slower than 3:00.
+	var rush, night float64
+	for e := 0; e < g.NumEdges(); e++ {
+		rush += tf.Speed(roadnet.EdgeID(e), 8.5*3600)
+		night += tf.Speed(roadnet.EdgeID(e), 3*3600)
+	}
+	if rush >= night {
+		t.Fatalf("rush-hour speed %.1f not below night speed %.1f", rush, night)
+	}
+}
+
+func TestWeeklyPeriodicity(t *testing.T) {
+	tf := testTraffic(t)
+	e := roadnet.EdgeID(3)
+	// Tuesday 8:30 of week 1 vs week 2 should be similar (same weekday
+	// profile, modulo weather and ripple); Tuesday vs Sunday must differ
+	// more on average over edges.
+	var sameDiff, crossDiff float64
+	g := tf.Graph()
+	for id := 0; id < g.NumEdges(); id += 3 {
+		e = roadnet.EdgeID(id)
+		tue1 := tf.Congestion(e, (1*24+8.5)*3600)
+		tue2 := tf.Congestion(e, ((7+1)*24+8.5)*3600)
+		sun1 := tf.Congestion(e, (6*24+8.5)*3600)
+		sameDiff += math.Abs(tue1 - tue2)
+		crossDiff += math.Abs(tue1 - sun1)
+	}
+	if sameDiff >= crossDiff {
+		t.Fatalf("weekly periodicity absent: same-day diff %.3f >= cross-day diff %.3f", sameDiff, crossDiff)
+	}
+}
+
+func TestWeatherDeterministicAndBounded(t *testing.T) {
+	tf := testTraffic(t)
+	for h := 0; h < 14*24; h += 5 {
+		w := tf.Weather(float64(h) * 3600)
+		if w < 0 || w >= WeatherTypes {
+			t.Fatalf("weather %d out of range", w)
+		}
+		if w2 := tf.Weather(float64(h) * 3600); w2 != w {
+			t.Fatal("weather not deterministic")
+		}
+	}
+}
+
+func TestEntryWaitPositiveAndRushSensitive(t *testing.T) {
+	tf := testTraffic(t)
+	e := roadnet.EdgeID(5)
+	night := tf.EntryWait(e, 3*3600)
+	rush := tf.EntryWait(e, 8.5*3600)
+	if night <= 0 {
+		t.Fatalf("night entry wait %v", night)
+	}
+	if rush <= night {
+		t.Fatalf("rush wait %v not above night wait %v", rush, night)
+	}
+}
+
+func TestTraverseTimeMatchesSpeed(t *testing.T) {
+	tf := testTraffic(t)
+	g := tf.Graph()
+	e := roadnet.EdgeID(0)
+	// At constant conditions (short traversal) time ≈ length/speed.
+	at := 3 * 3600.0
+	got := tf.TraverseTime(e, 0, 1, at)
+	want := g.Edges[e].Length / tf.Speed(e, at)
+	if math.Abs(got-want) > want*0.2 {
+		t.Fatalf("TraverseTime %v, naive %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards span accepted")
+		}
+	}()
+	tf.TraverseTime(e, 0.8, 0.2, at)
+}
+
+func TestSpeedGridder(t *testing.T) {
+	tf := testTraffic(t)
+	sg, err := NewSpeedGridder(tf, 300, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Rows() <= 0 || sg.Cols() <= 0 {
+		t.Fatal("degenerate grid")
+	}
+	m := sg.MatrixAt(10 * 3600)
+	if len(m) != sg.Rows()*sg.Cols() {
+		t.Fatalf("matrix size %d, want %d", len(m), sg.Rows()*sg.Cols())
+	}
+	var positive int
+	for _, v := range m {
+		if v < 0 {
+			t.Fatalf("negative speed %v", v)
+		}
+		if v > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Fatal("speed matrix is all zeros")
+	}
+	// Same period → cached, identical slice.
+	m2 := sg.MatrixAt(10*3600 + 100)
+	if &m[0] != &m2[0] {
+		t.Fatal("matrix not cached within a period")
+	}
+	ext := sg.External(10 * 3600)
+	if ext.GridRows != sg.Rows() || ext.GridCols != sg.Cols() || len(ext.SpeedGrid) != len(m) {
+		t.Fatalf("external features inconsistent: %+v", ext)
+	}
+	if _, err := NewSpeedGridder(tf, 300, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestGenerateOrders(t *testing.T) {
+	tf := testTraffic(t)
+	sg, err := NewSpeedGridder(tf, 300, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(tf, sg, DefaultOrderConfig(60, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 60 {
+		t.Fatalf("generated %d records, want 60", len(recs))
+	}
+	g := tf.Graph()
+	for i := range recs {
+		r := &recs[i]
+		if err := r.Trajectory.Validate(g); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if r.TravelSec <= 0 || r.TravelSec > 3*3600 {
+			t.Fatalf("record %d travel time %v", i, r.TravelSec)
+		}
+		if math.Abs(r.Trajectory.TravelTime()-r.TravelSec) > 1e-6 {
+			t.Fatalf("record %d: trajectory duration %v != travel time %v",
+				i, r.Trajectory.TravelTime(), r.TravelSec)
+		}
+		if r.Matched.OriginEdge != r.Trajectory.Path[0].Edge {
+			t.Fatalf("record %d: matched origin edge mismatch", i)
+		}
+		if r.OD.External == nil || len(r.OD.External.SpeedGrid) == 0 {
+			t.Fatalf("record %d missing external features", i)
+		}
+		if r.RawPoints < 2 {
+			t.Fatalf("record %d has %d GPS points", i, r.RawPoints)
+		}
+		if i > 0 && recs[i].OD.DepartSec < recs[i-1].OD.DepartSec {
+			t.Fatal("records not sorted by departure")
+		}
+		if r.Trajectory.Length(g) < gen.cfg.MinTripMeters {
+			t.Fatalf("record %d shorter than MinTripMeters", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tf := testTraffic(t)
+	gen1, err := NewGenerator(tf, nil, DefaultOrderConfig(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := gen1.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := NewGenerator(tf, nil, DefaultOrderConfig(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := gen2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].TravelSec != r2[i].TravelSec || r1[i].OD.DepartSec != r2[i].OD.DepartSec {
+			t.Fatalf("generation not deterministic at record %d", i)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	tf := testTraffic(t)
+	bad := DefaultOrderConfig(0, 1)
+	if _, err := NewGenerator(tf, nil, bad); err == nil {
+		t.Fatal("zero orders accepted")
+	}
+	bad = DefaultOrderConfig(5, 1)
+	bad.GPSPeriodSec = 0
+	if _, err := NewGenerator(tf, nil, bad); err == nil {
+		t.Fatal("zero GPS period accepted")
+	}
+}

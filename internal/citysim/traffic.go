@@ -1,0 +1,232 @@
+// Package citysim synthesizes the data the paper obtained from ride-hailing
+// platforms: a city's time-varying traffic, weather, grid speed matrices,
+// and taxi orders (OD input + affiliated GPS trajectory + ground-truth
+// travel time). See DESIGN.md §1 for the substitution argument.
+//
+// The congestion model is multiplicative: the effective speed of edge e at
+// time t is FreeSpeed(e) · congestion(e, t), where congestion combines
+//   - a smooth time-of-day profile with morning and evening rush hours,
+//   - a weekday/weekend distinction (weekly periodicity, Figure 5a),
+//   - a per-edge sensitivity (arterials congest more than side streets),
+//   - a spatial center-of-town factor (downtown congests more),
+//   - a weather slowdown, and
+//   - smooth per-edge pseudo-random ripple so distinct edges decorrelate.
+//
+// All components are deterministic functions of (edge, time, seed), so the
+// simulator is reproducible and the FIFO property required by
+// time-dependent Dijkstra holds to a good approximation.
+package citysim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepod/internal/geo"
+	"deepod/internal/roadnet"
+	"deepod/internal/timeslot"
+)
+
+// WeatherTypes is N_wea, the number of weather categories (paper §6.1).
+const WeatherTypes = 16
+
+// Traffic is the deterministic congestion + weather field of one city.
+type Traffic struct {
+	g    *roadnet.Graph
+	seed int64
+
+	center     geo.Point
+	halfSpan   float64
+	edgePhase  []float64 // per-edge ripple phase
+	edgeSens   []float64 // per-edge congestion sensitivity
+	edgeFactor []float64 // per-edge idiosyncratic speed factor
+	entryWait  []float64 // per-edge base intersection wait (seconds)
+	weatherSeq []int     // weather type per hour
+	horizonSec float64
+}
+
+// NewTraffic builds the traffic field for g covering horizon seconds from
+// the base timestamp.
+func NewTraffic(g *roadnet.Graph, horizon float64, seed int64) (*Traffic, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("citysim: horizon must be positive, got %v", horizon)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := g.Bounds()
+	t := &Traffic{
+		g:          g,
+		seed:       seed,
+		center:     geo.Point{X: (b.Min.X + b.Max.X) / 2, Y: (b.Min.Y + b.Max.Y) / 2},
+		halfSpan:   math.Max(b.Width(), b.Height()) / 2,
+		edgePhase:  make([]float64, g.NumEdges()),
+		edgeSens:   make([]float64, g.NumEdges()),
+		horizonSec: horizon,
+	}
+	t.edgeFactor = make([]float64, g.NumEdges())
+	t.entryWait = make([]float64, g.NumEdges())
+	for i := range t.edgePhase {
+		t.edgePhase[i] = rng.Float64() * 2 * math.Pi
+		sens := 0.5 + 0.3*rng.Float64()
+		if g.Edges[i].Class == roadnet.Arterial {
+			sens += 0.25 // arterials feel rush hour more
+		}
+		t.edgeSens[i] = sens
+		// Idiosyncratic per-segment speed: real road networks have
+		// heterogeneous effective speeds (lanes, surface, signals) that
+		// Euclidean-distance features cannot see but per-segment
+		// representations can. Lognormal, clamped to [0.45, 1.8].
+		f := math.Exp(rng.NormFloat64() * 0.35)
+		if f < 0.45 {
+			f = 0.45
+		} else if f > 1.8 {
+			f = 1.8
+		}
+		t.edgeFactor[i] = f
+		// Base intersection wait when turning onto this segment: crossing
+		// onto an arterial takes longer (signals), and every intersection
+		// has its own character.
+		wait := 1 + 5*rng.Float64()
+		if g.Edges[i].Class == roadnet.Arterial {
+			wait += 3
+		}
+		t.entryWait[i] = wait
+	}
+	// Weather: a sticky Markov chain over WeatherTypes states sampled per
+	// hour. Types 0..7 are "good" (no slowdown), 8..15 increasingly bad.
+	hours := int(math.Ceil(horizon/3600)) + 1
+	t.weatherSeq = make([]int, hours)
+	cur := rng.Intn(8)
+	for h := 0; h < hours; h++ {
+		if rng.Float64() < 0.15 { // change weather
+			if rng.Float64() < 0.7 {
+				cur = rng.Intn(8) // good
+			} else {
+				cur = 8 + rng.Intn(8) // bad
+			}
+		}
+		t.weatherSeq[h] = cur
+	}
+	return t, nil
+}
+
+// Graph returns the underlying road network.
+func (t *Traffic) Graph() *roadnet.Graph { return t.g }
+
+// Horizon returns the simulated span in seconds.
+func (t *Traffic) Horizon() float64 { return t.horizonSec }
+
+// Weather returns the weather type (0..WeatherTypes-1) at time sec.
+func (t *Traffic) Weather(sec float64) int {
+	h := int(sec / 3600)
+	if h < 0 {
+		h = 0
+	}
+	if h >= len(t.weatherSeq) {
+		h = len(t.weatherSeq) - 1
+	}
+	return t.weatherSeq[h]
+}
+
+// weatherSlowdown maps a weather type to a speed multiplier ≤ 1.
+func weatherSlowdown(w int) float64 {
+	if w < 8 {
+		return 1
+	}
+	return 1 - 0.04*float64(w-7) // up to 32% slowdown in the worst weather
+}
+
+// dayProfile is the time-of-day congestion intensity in [0, 1]: two rush
+// peaks on weekdays, one flat midday bump on weekends.
+func dayProfile(secOfDay float64, weekend bool) float64 {
+	h := secOfDay / 3600
+	gauss := func(mu, sigma float64) float64 {
+		d := (h - mu) / sigma
+		return math.Exp(-0.5 * d * d)
+	}
+	if weekend {
+		return 0.45 * gauss(14, 4)
+	}
+	return 0.9*gauss(8.5, 1.4) + 0.8*gauss(18, 1.7) + 0.25*gauss(13, 3)
+}
+
+// Congestion returns the speed multiplier of edge e at time sec, in
+// (0.15, 1].
+func (t *Traffic) Congestion(e roadnet.EdgeID, sec float64) float64 {
+	day := int(sec / timeslot.SecondsPerDay)
+	secOfDay := sec - float64(day)*timeslot.SecondsPerDay
+	weekend := day%7 >= 5
+
+	intensity := dayProfile(secOfDay, weekend)
+
+	// Downtown factor: edges near the center congest harder.
+	a, b := t.g.EdgePoints(e)
+	mid := geo.Lerp(a, b, 0.5)
+	rel := 1 - math.Min(1, geo.Dist(mid, t.center)/t.halfSpan)
+	spatial := 0.6 + 0.4*rel
+
+	// Smooth per-edge ripple, period ~40 min, amplitude 0.1.
+	ripple := 0.1 * math.Sin(2*math.Pi*sec/2400+t.edgePhase[e])
+
+	drop := (intensity*t.edgeSens[int(e)]*spatial + ripple) // fraction of speed lost
+	if drop < 0 {
+		drop = 0
+	}
+	if drop > 0.85 {
+		drop = 0.85
+	}
+	return (1 - drop) * weatherSlowdown(t.Weather(sec))
+}
+
+// Speed returns the effective speed of edge e at time sec in m/s,
+// including the edge's idiosyncratic factor.
+func (t *Traffic) Speed(e roadnet.EdgeID, sec float64) float64 {
+	return t.g.Edges[e].FreeSpeed * t.edgeFactor[e] * t.Congestion(e, sec)
+}
+
+// EntryWait returns the intersection wait (seconds) paid when turning onto
+// edge e at time sec: the edge's base wait scaled by the time-of-day
+// congestion intensity. Waits grow during rush hour — a route crossing many
+// signalled intersections degrades more than its length suggests, which is
+// route-shape structure only network-aware models can capture.
+func (t *Traffic) EntryWait(e roadnet.EdgeID, sec float64) float64 {
+	day := int(sec / timeslot.SecondsPerDay)
+	secOfDay := sec - float64(day)*timeslot.SecondsPerDay
+	intensity := dayProfile(secOfDay, day%7 >= 5)
+	return t.entryWait[e] * (0.4 + 1.6*intensity) * weatherSlowdownInv(t.Weather(sec))
+}
+
+// weatherSlowdownInv lengthens waits in bad weather.
+func weatherSlowdownInv(w int) float64 {
+	return 1 / weatherSlowdown(w)
+}
+
+// TravelCost returns an EdgeCostFunc backed by this traffic field: the
+// intersection entry wait plus the traversal time at entry-time speed.
+func (t *Traffic) TravelCost() roadnet.EdgeCostFunc {
+	return func(e roadnet.EdgeID, enterSec float64) float64 {
+		return t.EntryWait(e, enterSec) + t.g.Edges[e].Length/t.Speed(e, enterSec)
+	}
+}
+
+// TraverseTime integrates the traversal time of a fraction span
+// [fromFrac, toFrac] of edge e entered at enterSec, stepping the congestion
+// field every stepSec seconds for accuracy on long segments.
+func (t *Traffic) TraverseTime(e roadnet.EdgeID, fromFrac, toFrac, enterSec float64) float64 {
+	if toFrac < fromFrac {
+		panic(fmt.Sprintf("citysim: TraverseTime spans backwards (%v > %v)", fromFrac, toFrac))
+	}
+	length := t.g.Edges[e].Length * (toFrac - fromFrac)
+	remaining := length
+	now := enterSec
+	const stepSec = 30.0
+	for remaining > 1e-9 {
+		v := t.Speed(e, now)
+		d := v * stepSec
+		if d >= remaining {
+			return now + remaining/v - enterSec
+		}
+		remaining -= d
+		now += stepSec
+	}
+	return now - enterSec
+}

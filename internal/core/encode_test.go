@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"deepod/internal/dataset"
+	"deepod/internal/nn"
+)
+
+// TestTrainEvalForwardConsistency: the training tape (recording gradients)
+// and the eval tape must compute identical forward values for M_O, M_E and
+// M_T — a guard against eval-mode shortcuts diverging from training math.
+func TestTrainEvalForwardConsistency(t *testing.T) {
+	g, recs := testWorld(t, 100)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(tinyConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untrained weights suffice: consistency is a structural property.
+	m.SetTimeScale(300)
+	for i := range split.Test {
+		rec := &split.Test[i]
+		trainTape := nn.NewTape()
+		evalTape := nn.NewEvalTape()
+		codeT := m.encodeOD(trainTape, &rec.Matched)
+		codeE := m.encodeOD(evalTape, &rec.Matched)
+		for k := range codeT.Value.Data {
+			if codeT.Value.Data[k] != codeE.Value.Data[k] {
+				t.Fatalf("record %d: code differs between train and eval tapes at %d", i, k)
+			}
+		}
+		stT := m.encodeTrajectory(trainTape, &rec.Trajectory)
+		stE := m.encodeTrajectory(evalTape, &rec.Trajectory)
+		for k := range stT.Value.Data {
+			if stT.Value.Data[k] != stE.Value.Data[k] {
+				t.Fatalf("record %d: stcode differs between tapes at %d", i, k)
+			}
+		}
+	}
+}
+
+// TestCodeDimensionsTied: code and stcode must share a latent space
+// (d8m == d4m, §4.6), verified on the actual encoder outputs.
+func TestCodeDimensionsTied(t *testing.T) {
+	g, recs := testWorld(t, 60)
+	split, err := dataset.ChronoSplit(recs, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(tinyConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := nn.NewEvalTape()
+	rec := &split.Train[0]
+	code := m.encodeOD(tp, &rec.Matched)
+	stcode := m.encodeTrajectory(tp, &rec.Trajectory)
+	if code.Value.Size() != stcode.Value.Size() {
+		t.Fatalf("code size %d != stcode size %d", code.Value.Size(), stcode.Value.Size())
+	}
+	if code.Value.Size() != m.cfg.D8m() {
+		t.Fatalf("code size %d != D8m %d", code.Value.Size(), m.cfg.D8m())
+	}
+}
+
+// TestTimeIntervalEncoderSpans: Δd follows Formula 4 and long intervals are
+// clamped without panicking.
+func TestTimeIntervalEncoderSpans(t *testing.T) {
+	g, _ := testWorld(t, 5)
+	m, err := New(tinyConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := nn.NewEvalTape()
+	// Within one slot.
+	v1 := m.encodeTimeInterval(tp, 60, 120)
+	// Across many slots (clamped).
+	v2 := m.encodeTimeInterval(tp, 0, 10*3600)
+	if v1.Value.Size() != m.cfg.D2m || v2.Value.Size() != m.cfg.D2m {
+		t.Fatalf("tcode sizes %d/%d, want %d", v1.Value.Size(), v2.Value.Size(), m.cfg.D2m)
+	}
+	for _, v := range append(v1.Value.Data, v2.Value.Data...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("tcode contains invalid values")
+		}
+	}
+}
+
+// TestEmbedMethodVariantsTrain exercises the §5 embedding-method knob.
+func TestEmbedMethodVariantsTrain(t *testing.T) {
+	g, recs := testWorld(t, 90)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"node2vec", "deepwalk", "line"} {
+		cfg := tinyConfig()
+		cfg.Epochs = 1
+		cfg.EmbedMethod = method
+		m, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 2}); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+	}
+	bad := tinyConfig()
+	bad.EmbedMethod = "gnn"
+	if _, err := New(bad, g); err == nil {
+		t.Fatal("unknown embed method accepted")
+	}
+}
+
+// TestAuxOneWayTrains exercises the one-way binding option.
+func TestAuxOneWayTrains(t *testing.T) {
+	g, recs := testWorld(t, 90)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Epochs = 1
+	cfg.AuxWeight = 0.3
+	cfg.AuxOneWay = true
+	m, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if y := m.Estimate(&split.Test[0].Matched); math.IsNaN(y) || y < 0 {
+		t.Fatalf("one-way model produced %v", y)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"deepod/internal/dataset"
+	"deepod/internal/roadnet"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g, recs := testWorld(t, 120)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Epochs = 1
+	m, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range split.Test {
+		od := &split.Test[i].Matched
+		if a, b := m.Estimate(od), loaded.Estimate(od); a != b {
+			t.Fatalf("loaded model diverges on record %d: %v vs %v", i, a, b)
+		}
+	}
+	if loaded.TimeScale() != m.TimeScale() {
+		t.Fatal("time scale not restored")
+	}
+}
+
+func TestLoadRejectsWrongNetwork(t *testing.T) {
+	g, recs := testWorld(t, 120)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Epochs = 1
+	m, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	otherCfg := roadnet.SmallCity("other", 99)
+	otherCfg.Rows, otherCfg.Cols = 4, 4
+	other, err := roadnet.GenerateCity(otherCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, other); err == nil {
+		t.Fatal("loading onto a mismatched network accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	g, _ := testWorld(t, 5)
+	if _, err := Load(bytes.NewReader([]byte("not a model")), g); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

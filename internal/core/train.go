@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"deepod/internal/dataset"
+	"deepod/internal/embed"
+	"deepod/internal/metrics"
+	"deepod/internal/nn"
+	"deepod/internal/roadnet"
+	"deepod/internal/tensor"
+	"deepod/internal/traj"
+)
+
+// StepPoint is one validation measurement during training (the series
+// behind Figure 10 and the convergence numbers of Table 3).
+type StepPoint struct {
+	Step   int
+	ValMAE float64 // seconds
+}
+
+// TrainStats reports what happened during Train.
+type TrainStats struct {
+	// Curve is the validation-MAE trace sampled every EvalEvery steps.
+	Curve []StepPoint
+	// ConvergedStep is the first step whose validation MAE came within 2%
+	// of the best MAE seen; ConvergedAt is the wall-clock time it took.
+	ConvergedStep int
+	ConvergedAt   time.Duration
+	// Steps and Elapsed cover the whole run.
+	Steps   int
+	Elapsed time.Duration
+	// EmbedElapsed is the node2vec pre-training time (part of offline
+	// training in Table 5).
+	EmbedElapsed time.Duration
+	// FinalValMAE is the last validation MAE in seconds.
+	FinalValMAE float64
+}
+
+// TrainOptions tunes the training loop around the model.
+type TrainOptions struct {
+	// EvalEvery measures validation MAE every this many optimizer steps
+	// (0 = only at epoch boundaries).
+	EvalEvery int
+	// MaxSteps stops early after this many optimizer steps (0 = no cap);
+	// used by the hyper-parameter sweeps to bound cost.
+	MaxSteps int
+	// ValSample caps how many validation records each measurement uses
+	// (0 = all).
+	ValSample int
+	// Quiet suppresses the progress callback.
+	Progress func(epoch, step int, valMAE float64)
+}
+
+// Train runs Algorithm 1's offline training: embedding pre-training
+// (lines 1–5) followed by epochs of mini-batch optimization of
+// loss = w·auxiliaryloss + (1−w)·mainloss (lines 6–7).
+func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*TrainStats, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("core: no training records")
+	}
+	if len(valid) == 0 {
+		return nil, fmt.Errorf("core: no validation records")
+	}
+	stats := &TrainStats{}
+	start := time.Now()
+
+	// Target normalization: mean training travel time.
+	var mean float64
+	for i := range train {
+		mean += train[i].TravelSec
+	}
+	m.timeScale = mean / float64(len(train))
+
+	// Lines 1–4: initialize embedding matrices with node2vec.
+	embStart := time.Now()
+	if err := m.pretrainEmbeddings(train); err != nil {
+		return nil, err
+	}
+	stats.EmbedElapsed = time.Since(embStart)
+
+	opt := nn.NewAdam(m.cfg.LRInitial)
+	schedule := nn.StepDecaySchedule{Initial: m.cfg.LRInitial, Factor: m.cfg.LRFactor, Every: m.cfg.LREvery}
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 1000))
+
+	useAux := !m.cfg.NoTrajectory && m.cfg.AuxWeight > 0
+	w := m.cfg.AuxWeight
+
+	evaluate := func() float64 {
+		n := len(valid)
+		if opts.ValSample > 0 && opts.ValSample < n {
+			n = opts.ValSample
+		}
+		actual := make([]float64, n)
+		pred := make([]float64, n)
+		for i := 0; i < n; i++ {
+			actual[i] = valid[i].TravelSec
+			pred[i] = m.Estimate(&valid[i].Matched)
+		}
+		return metrics.MAE(actual, pred)
+	}
+
+	step := 0
+	done := false
+	for epoch := 0; epoch < m.cfg.Epochs && !done; epoch++ {
+		opt.LR = schedule.At(epoch)
+		err := dataset.Batches(len(train), m.cfg.BatchSize, rng, true, func(batch []int) error {
+			if done {
+				return nil
+			}
+			m.ps.ZeroGrad()
+			for _, bi := range batch {
+				rec := &train[bi]
+				tp := nn.NewTape()
+				code := m.encodeOD(tp, &rec.Matched)
+				yhat := m.estMLP.Forward(tp, code) // Formula 20
+				target := tp.Const(tensor.Scalar(rec.TravelSec / m.timeScale))
+				main := tp.AbsError(yhat, target)
+				var loss *nn.Node
+				if useAux {
+					stcode := m.encodeTrajectory(tp, &rec.Trajectory)
+					// Anchor M_T: the estimator must decode the travel time
+					// from stcode too. The spatio-temporal path contains its
+					// own timing, so this trains the trajectory encoder to
+					// organize its representation by travel time; binding
+					// code to stcode then distills that structure into the
+					// OD encoder (see DESIGN.md §4 on this deviation).
+					privileged := tp.AbsError(m.estMLP.Forward(tp, stcode), target)
+					bindTarget := stcode
+					if m.cfg.AuxOneWay {
+						// Detach: the OD code chases the trajectory code,
+						// never the reverse.
+						bindTarget = tp.Const(stcode.Value)
+					}
+					aux := tp.Add(tp.L2Distance(code, bindTarget), privileged)
+					// Algorithm 1, line 12: loss = w·auxiliaryloss + (1−w)·mainloss.
+					loss = tp.Add(tp.Scale(aux, w), tp.Scale(main, 1-w))
+				} else {
+					loss = main
+				}
+				tp.Backward(loss)
+			}
+			m.ps.ScaleGrads(1 / float64(len(batch)))
+			if m.cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(m.ps, m.cfg.ClipNorm)
+			}
+			opt.Step(m.ps)
+			step++
+			if opts.EvalEvery > 0 && step%opts.EvalEvery == 0 {
+				mae := evaluate()
+				stats.Curve = append(stats.Curve, StepPoint{Step: step, ValMAE: mae})
+				if opts.Progress != nil {
+					opts.Progress(epoch, step, mae)
+				}
+			}
+			if opts.MaxSteps > 0 && step >= opts.MaxSteps {
+				done = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		mae := evaluate()
+		stats.Curve = append(stats.Curve, StepPoint{Step: step, ValMAE: mae})
+		if opts.Progress != nil {
+			opts.Progress(epoch, step, mae)
+		}
+	}
+
+	stats.Steps = step
+	stats.Elapsed = time.Since(start)
+	if len(stats.Curve) > 0 {
+		stats.FinalValMAE = stats.Curve[len(stats.Curve)-1].ValMAE
+		best := math.Inf(1)
+		for _, p := range stats.Curve {
+			if p.ValMAE < best {
+				best = p.ValMAE
+			}
+		}
+		for _, p := range stats.Curve {
+			if p.ValMAE <= best*1.02 {
+				stats.ConvergedStep = p.Step
+				break
+			}
+		}
+		if stats.Steps > 0 {
+			frac := float64(stats.ConvergedStep) / float64(stats.Steps)
+			stats.ConvergedAt = time.Duration(frac * float64(stats.Elapsed))
+		}
+	}
+	return stats, nil
+}
+
+// pretrainEmbeddings performs Algorithm 1 lines 1–4: node2vec over the
+// trajectory-weighted road line graph initializes Ws, node2vec over the
+// temporal graph initializes Wt. Variant configs swap or skip the
+// pre-training per Table 7.
+func (m *Model) pretrainEmbeddings(train []traj.TripRecord) error {
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 2000))
+
+	if m.roadEmb != nil && m.cfg.RoadInit == RoadGraph {
+		trajEdges := make([][]roadnet.EdgeID, len(train))
+		for i := range train {
+			trajEdges[i] = train[i].Trajectory.Edges()
+		}
+		lg, err := roadnet.BuildLineGraph(m.g, trajEdges, 0.25)
+		if err != nil {
+			return fmt.Errorf("core: building line graph: %w", err)
+		}
+		vecs, err := m.runEmbed(embed.FromLineGraph(lg), m.cfg.Ds, rng)
+		if err != nil {
+			return fmt.Errorf("core: road embedding: %w", err)
+		}
+		if err := m.roadEmb.Init(vecs); err != nil {
+			return err
+		}
+	}
+
+	if m.slotEmb != nil {
+		var tg *embed.TemporalGraph
+		var err error
+		switch m.cfg.TimeInit {
+		case TimeWeekGraph:
+			tg, err = embed.BuildTemporalGraph(m.slotter, 1, 1)
+		case TimeDayGraph:
+			tg, err = embed.BuildDayTemporalGraph(m.slotter, 1)
+		case TimeOneHot:
+			return nil // keep random init
+		}
+		if err != nil {
+			return fmt.Errorf("core: temporal graph: %w", err)
+		}
+		vecs, err := m.runEmbed(tg, m.cfg.Dt, rng)
+		if err != nil {
+			return fmt.Errorf("core: slot embedding: %w", err)
+		}
+		if err := m.slotEmb.Init(vecs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Model) runEmbed(g embed.Graph, dim int, rng *rand.Rand) (*tensor.Tensor, error) {
+	wcfg := embed.DefaultWalkConfig()
+	wcfg.WalksPerNode = m.cfg.EmbedWalks
+	scfg := embed.DefaultSkipGramConfig(dim)
+	scfg.Epochs = m.cfg.EmbedEpochs
+	switch embed.Method(m.cfg.EmbedMethod) {
+	case embed.DeepWalk:
+		wcfg.P, wcfg.Q = 1, 1
+	case embed.LINE:
+		wcfg.P, wcfg.Q = 1, 1
+		wcfg.WalkLength = 2
+		wcfg.WalksPerNode *= 4
+		scfg.Window = 1
+	}
+	walks, err := embed.GenerateWalks(g, wcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return embed.TrainSkipGram(g.NumNodes(), walks, scfg, rng)
+}
+
+// Estimate runs the online estimation of Algorithm 1: encode the OD input
+// with M_O and decode the travel time with M_E. The result is in seconds.
+func (m *Model) Estimate(od *traj.MatchedOD) float64 {
+	tp := nn.NewEvalTape()
+	code := m.encodeOD(tp, od)
+	y := m.estMLP.Forward(tp, code)
+	sec := y.Value.Data[0] * m.timeScale
+	if sec < 0 {
+		sec = 0
+	}
+	return sec
+}
+
+// EstimateBatch estimates many OD inputs (Table 5 times 1000 of these).
+func (m *Model) EstimateBatch(ods []traj.MatchedOD) []float64 {
+	out := make([]float64, len(ods))
+	for i := range ods {
+		out[i] = m.Estimate(&ods[i])
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+// Package dataset handles trip-record plumbing: chronological train /
+// validation / test splits (the paper splits two months of orders 42:7:12
+// by date, §6.1), shuffled mini-batching for training, and sub-sampling for
+// the scalability study (Table 6).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepod/internal/traj"
+)
+
+// Split is a chronological partition of trip records.
+type Split struct {
+	Train []traj.TripRecord
+	Valid []traj.TripRecord
+	Test  []traj.TripRecord
+}
+
+// ChronoSplit partitions records (which must be sorted by departure time)
+// by the ratio a:b:c, mirroring the paper's date-based 42:7:12 split: the
+// earliest trips train, the middle trips validate, the latest trips test.
+func ChronoSplit(records []traj.TripRecord, a, b, c int) (Split, error) {
+	if a <= 0 || b <= 0 || c <= 0 {
+		return Split{}, fmt.Errorf("dataset: split ratios must be positive, got %d:%d:%d", a, b, c)
+	}
+	if len(records) < 3 {
+		return Split{}, fmt.Errorf("dataset: need at least 3 records to split, got %d", len(records))
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].OD.DepartSec < records[i-1].OD.DepartSec {
+			return Split{}, fmt.Errorf("dataset: records not sorted by departure at index %d", i)
+		}
+	}
+	total := a + b + c
+	n := len(records)
+	trainEnd := n * a / total
+	validEnd := n * (a + b) / total
+	if trainEnd == 0 || validEnd == trainEnd || validEnd == n {
+		return Split{}, fmt.Errorf("dataset: split %d:%d:%d degenerate for %d records", a, b, c, n)
+	}
+	return Split{
+		Train: records[:trainEnd],
+		Valid: records[trainEnd:validEnd],
+		Test:  records[validEnd:],
+	}, nil
+}
+
+// PaperSplit applies the paper's 42:7:12 ratio.
+func PaperSplit(records []traj.TripRecord) (Split, error) {
+	return ChronoSplit(records, 42, 7, 12)
+}
+
+// Subsample returns the first frac of the training data (the paper's
+// Table 6 samples 20%..100% of training data; taking a chronological prefix
+// keeps the no-future-leakage property).
+func Subsample(train []traj.TripRecord, frac float64) ([]traj.TripRecord, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("dataset: fraction must be in (0,1], got %v", frac)
+	}
+	n := int(float64(len(train)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	return train[:n], nil
+}
+
+// Batches yields shuffled mini-batches of indices into records, calling f
+// once per batch (Algorithm 1's ModelTrain: shuffle, then iterate ⌊|X|/bs⌋
+// batches). A trailing partial batch is delivered too when keepTail is set.
+func Batches(n, batchSize int, rng *rand.Rand, keepTail bool, f func(batch []int) error) error {
+	if batchSize <= 0 {
+		return fmt.Errorf("dataset: batch size must be positive, got %d", batchSize)
+	}
+	perm := rng.Perm(n)
+	full := n / batchSize
+	for b := 0; b < full; b++ {
+		if err := f(perm[b*batchSize : (b+1)*batchSize]); err != nil {
+			return err
+		}
+	}
+	if keepTail && n%batchSize != 0 {
+		if err := f(perm[full*batchSize:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a record set the way the paper's Table 2 does.
+type Stats struct {
+	NumOrders    int
+	AvgGPSPoints float64
+	AvgTravelSec float64
+	AvgSegments  float64
+	AvgLengthM   float64
+	MinTravelSec float64
+	MaxTravelSec float64
+}
+
+// Summarize computes Table 2 statistics. lengthOf maps a record to its
+// trajectory length in meters (injected so this package does not depend on
+// the road network).
+func Summarize(records []traj.TripRecord, lengthOf func(*traj.TripRecord) float64) Stats {
+	if len(records) == 0 {
+		return Stats{}
+	}
+	s := Stats{NumOrders: len(records), MinTravelSec: records[0].TravelSec, MaxTravelSec: records[0].TravelSec}
+	for i := range records {
+		r := &records[i]
+		s.AvgGPSPoints += float64(r.RawPoints)
+		s.AvgTravelSec += r.TravelSec
+		s.AvgSegments += float64(len(r.Trajectory.Path))
+		s.AvgLengthM += lengthOf(r)
+		if r.TravelSec < s.MinTravelSec {
+			s.MinTravelSec = r.TravelSec
+		}
+		if r.TravelSec > s.MaxTravelSec {
+			s.MaxTravelSec = r.TravelSec
+		}
+	}
+	n := float64(len(records))
+	s.AvgGPSPoints /= n
+	s.AvgTravelSec /= n
+	s.AvgSegments /= n
+	s.AvgLengthM /= n
+	return s
+}

@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepod/internal/traj"
+)
+
+func sortedRecords(n int) []traj.TripRecord {
+	recs := make([]traj.TripRecord, n)
+	for i := range recs {
+		recs[i].OD.DepartSec = float64(i * 10)
+		recs[i].TravelSec = 100 + float64(i%7)*30
+		recs[i].RawPoints = 5 + i%3
+	}
+	return recs
+}
+
+func TestChronoSplitRatios(t *testing.T) {
+	recs := sortedRecords(610)
+	s, err := ChronoSplit(recs, 42, 7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Train)+len(s.Valid)+len(s.Test) != 610 {
+		t.Fatal("split loses records")
+	}
+	// 42/61 of 610 = 420, 49/61 = 490.
+	if len(s.Train) != 420 || len(s.Valid) != 70 || len(s.Test) != 120 {
+		t.Fatalf("split sizes %d/%d/%d", len(s.Train), len(s.Valid), len(s.Test))
+	}
+	// Chronology: max(train) < min(valid) < min(test).
+	if s.Train[len(s.Train)-1].OD.DepartSec >= s.Valid[0].OD.DepartSec {
+		t.Fatal("train leaks into validation time range")
+	}
+	if s.Valid[len(s.Valid)-1].OD.DepartSec >= s.Test[0].OD.DepartSec {
+		t.Fatal("validation leaks into test time range")
+	}
+}
+
+func TestChronoSplitErrors(t *testing.T) {
+	if _, err := ChronoSplit(sortedRecords(10), 0, 1, 1); err == nil {
+		t.Fatal("zero ratio accepted")
+	}
+	if _, err := ChronoSplit(sortedRecords(2), 1, 1, 1); err == nil {
+		t.Fatal("2 records accepted")
+	}
+	unsorted := sortedRecords(10)
+	unsorted[3].OD.DepartSec = 1e9
+	if _, err := ChronoSplit(unsorted, 1, 1, 1); err == nil {
+		t.Fatal("unsorted records accepted")
+	}
+}
+
+func TestPaperSplit(t *testing.T) {
+	s, err := PaperSplit(sortedRecords(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Train) != 42 || len(s.Valid) != 7 || len(s.Test) != 12 {
+		t.Fatalf("paper split sizes %d/%d/%d", len(s.Train), len(s.Valid), len(s.Test))
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	recs := sortedRecords(100)
+	sub, err := Subsample(recs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 20 {
+		t.Fatalf("Subsample(0.2) = %d records", len(sub))
+	}
+	// Prefix property: earliest trips only.
+	if sub[len(sub)-1].OD.DepartSec != recs[19].OD.DepartSec {
+		t.Fatal("Subsample is not a chronological prefix")
+	}
+	if _, err := Subsample(recs, 0); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := Subsample(recs, 1.5); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	one, err := Subsample(recs, 1e-9)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("tiny fraction should keep one record, got %d (%v)", len(one), err)
+	}
+}
+
+func TestBatchesCoverEveryIndexOnce(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(90)
+		bs := 1 + rng.Intn(16)
+		seen := make([]int, n)
+		err := Batches(n, bs, rng, true, func(batch []int) error {
+			for _, i := range batch {
+				seen[i]++
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchesDropTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	total := 0
+	if err := Batches(10, 4, rng, false, func(batch []int) error {
+		if len(batch) != 4 {
+			t.Fatalf("batch size %d", len(batch))
+		}
+		total += len(batch)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 8 {
+		t.Fatalf("covered %d indices, want 8 (tail dropped)", total)
+	}
+	if err := Batches(10, 0, rng, false, func([]int) error { return nil }); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := sortedRecords(10)
+	st := Summarize(recs, func(*traj.TripRecord) float64 { return 1000 })
+	if st.NumOrders != 10 || st.AvgLengthM != 1000 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MinTravelSec > st.AvgTravelSec || st.AvgTravelSec > st.MaxTravelSec {
+		t.Fatalf("travel bounds inconsistent: %+v", st)
+	}
+	empty := Summarize(nil, nil)
+	if empty.NumOrders != 0 {
+		t.Fatal("empty summarize should be zero")
+	}
+}

@@ -1,0 +1,197 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepod/internal/tensor"
+)
+
+// SkipGramConfig tunes skip-gram-with-negative-sampling training.
+type SkipGramConfig struct {
+	Dim       int
+	Window    int
+	Negatives int
+	Epochs    int
+	LR        float64
+}
+
+// DefaultSkipGramConfig returns settings suitable for the small graphs in
+// this repository.
+func DefaultSkipGramConfig(dim int) SkipGramConfig {
+	return SkipGramConfig{Dim: dim, Window: 4, Negatives: 4, Epochs: 3, LR: 0.025}
+}
+
+// TrainSkipGram learns node embeddings from a walk corpus using skip-gram
+// with negative sampling (the objective behind node2vec and DeepWalk).
+// It returns a [numNodes, Dim] matrix of input-side vectors.
+func TrainSkipGram(numNodes int, walks [][]int, cfg SkipGramConfig, rng *rand.Rand) (*tensor.Tensor, error) {
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("embed: numNodes must be positive, got %d", numNodes)
+	}
+	if cfg.Dim <= 0 || cfg.Window <= 0 || cfg.Negatives < 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("embed: invalid skip-gram config %+v", cfg)
+	}
+	// Unigram^(3/4) negative-sampling table.
+	counts := make([]float64, numNodes)
+	for _, w := range walks {
+		for _, n := range w {
+			if n < 0 || n >= numNodes {
+				return nil, fmt.Errorf("embed: walk references node %d outside [0,%d)", n, numNodes)
+			}
+			counts[n]++
+		}
+	}
+	var total float64
+	for i := range counts {
+		counts[i] = math.Pow(counts[i]+1, 0.75)
+		total += counts[i]
+	}
+	cum := make([]float64, numNodes)
+	run := 0.0
+	for i, c := range counts {
+		run += c / total
+		cum[i] = run
+	}
+	sampleNeg := func() int {
+		r := rng.Float64()
+		lo, hi := 0, numNodes-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	in := tensor.New(numNodes, cfg.Dim)
+	out := tensor.New(numNodes, cfg.Dim)
+	for i := range in.Data {
+		in.Data[i] = (rng.Float64() - 0.5) / float64(cfg.Dim)
+	}
+
+	sigmoid := sigmoidTable()
+	dim := cfg.Dim
+	gradIn := make([]float64, dim)
+
+	trainPair := func(center, context int, lr float64) {
+		vi := in.Data[center*dim : (center+1)*dim]
+		for i := range gradIn {
+			gradIn[i] = 0
+		}
+		// One positive + Negatives negative targets.
+		for s := 0; s <= cfg.Negatives; s++ {
+			target, label := context, 1.0
+			if s > 0 {
+				target = sampleNeg()
+				if target == context {
+					continue
+				}
+				label = 0
+			}
+			vo := out.Data[target*dim : (target+1)*dim]
+			var dot float64
+			for i := 0; i < dim; i++ {
+				dot += vi[i] * vo[i]
+			}
+			g := (sigmoid(dot) - label) * lr
+			for i := 0; i < dim; i++ {
+				gradIn[i] += g * vo[i]
+				vo[i] -= g * vi[i]
+			}
+		}
+		for i := 0; i < dim; i++ {
+			vi[i] -= gradIn[i]
+		}
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR * (1 - float64(epoch)/float64(cfg.Epochs)*0.9)
+		for _, walk := range walks {
+			for ci, center := range walk {
+				lo := ci - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := ci + cfg.Window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				for x := lo; x <= hi; x++ {
+					if x == ci {
+						continue
+					}
+					trainPair(center, walk[x], lr)
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+// sigmoidTable returns a σ(x) approximation backed by a precomputed table
+// over [-6, 6] (the standard word2vec trick — exp dominates skip-gram
+// training otherwise; gradients are noisy anyway, so table resolution is
+// ample).
+func sigmoidTable() func(float64) float64 {
+	const (
+		bound = 6.0
+		bins  = 1024
+	)
+	table := make([]float64, bins+1)
+	for i := range table {
+		x := -bound + 2*bound*float64(i)/bins
+		table[i] = 1 / (1 + math.Exp(-x))
+	}
+	return func(x float64) float64 {
+		if x >= bound {
+			return 1
+		}
+		if x <= -bound {
+			return 0
+		}
+		return table[int((x+bound)/(2*bound)*bins)]
+	}
+}
+
+// Method selects which embedding algorithm initializes a matrix.
+type Method string
+
+// The three methods the paper evaluated; node2vec won (§5).
+const (
+	Node2Vec Method = "node2vec"
+	DeepWalk Method = "deepwalk"
+	LINE     Method = "line"
+)
+
+// Embed runs the chosen method over g and returns [numNodes, dim] vectors.
+//
+//   - node2vec: biased walks (p=1, q=0.5) + skip-gram.
+//   - deepwalk: uniform weighted walks (p=q=1) + skip-gram.
+//   - line: first-order proximity — skip-gram over direct links only
+//     (window 1 over length-2 walks), matching LINE's edge-sampling spirit.
+func Embed(g Graph, method Method, dim int, rng *rand.Rand) (*tensor.Tensor, error) {
+	wcfg := DefaultWalkConfig()
+	scfg := DefaultSkipGramConfig(dim)
+	switch method {
+	case Node2Vec:
+	case DeepWalk:
+		wcfg.P, wcfg.Q = 1, 1
+	case LINE:
+		wcfg.P, wcfg.Q = 1, 1
+		wcfg.WalkLength = 2
+		wcfg.WalksPerNode *= 4
+		scfg.Window = 1
+	default:
+		return nil, fmt.Errorf("embed: unknown method %q", method)
+	}
+	walks, err := GenerateWalks(g, wcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return TrainSkipGram(g.NumNodes(), walks, scfg, rng)
+}

@@ -1,0 +1,66 @@
+package embed
+
+import (
+	"fmt"
+
+	"deepod/internal/roadnet"
+	"deepod/internal/timeslot"
+)
+
+// TemporalGraph is the directed graph of Figure 5b: one node per time slot
+// of a week, with two kinds of edges —
+//
+//  1. neighboring-slot edges (slot i → slot i+1, wrapping at the week
+//     boundary), expressing that adjacent slots should have smooth
+//     representations; and
+//  2. neighboring-day edges (slot i → the same slot-of-day on the next
+//     day, wrapping Sunday → Monday), expressing daily periodicity.
+//
+// Unlike the undirected single-day construction the paper criticizes in
+// prior work, this graph is directed and spans the full week, so both the
+// sequential order of slots and the day-to-day repetition are captured.
+type TemporalGraph struct {
+	Slots int
+	adj   [][]roadnet.WeightedLink
+}
+
+// BuildTemporalGraph constructs the week-wide temporal graph for a slotter.
+// slotWeight and dayWeight set the relative strengths of the two edge
+// groups (the random walk follows heavier links proportionally more often).
+func BuildTemporalGraph(s *timeslot.Slotter, slotWeight, dayWeight float64) (*TemporalGraph, error) {
+	if slotWeight <= 0 || dayWeight < 0 {
+		return nil, fmt.Errorf("embed: temporal graph weights must be positive/non-negative, got %v, %v", slotWeight, dayWeight)
+	}
+	n := s.SlotsPerWeek
+	tg := &TemporalGraph{Slots: n, adj: make([][]roadnet.WeightedLink, n)}
+	perDay := s.SlotsPerDay
+	for i := 0; i < n; i++ {
+		// Neighboring slot (red edges in Figure 5b), wrapping the week.
+		tg.adj[i] = append(tg.adj[i], roadnet.WeightedLink{To: (i + 1) % n, Weight: slotWeight})
+		if dayWeight > 0 {
+			// Same slot of the next day (black edges), wrapping the week.
+			tg.adj[i] = append(tg.adj[i], roadnet.WeightedLink{To: (i + perDay) % n, Weight: dayWeight})
+		}
+	}
+	return tg, nil
+}
+
+// BuildDayTemporalGraph is the T-day ablation of Table 7: a temporal graph
+// over a single day's slots (daily periodicity only, no weekly structure).
+func BuildDayTemporalGraph(s *timeslot.Slotter, slotWeight float64) (*TemporalGraph, error) {
+	if slotWeight <= 0 {
+		return nil, fmt.Errorf("embed: slot weight must be positive, got %v", slotWeight)
+	}
+	n := s.SlotsPerDay
+	tg := &TemporalGraph{Slots: n, adj: make([][]roadnet.WeightedLink, n)}
+	for i := 0; i < n; i++ {
+		tg.adj[i] = append(tg.adj[i], roadnet.WeightedLink{To: (i + 1) % n, Weight: slotWeight})
+	}
+	return tg, nil
+}
+
+// NumNodes implements Graph.
+func (tg *TemporalGraph) NumNodes() int { return tg.Slots }
+
+// Links implements Graph.
+func (tg *TemporalGraph) Links(u int) []roadnet.WeightedLink { return tg.adj[u] }

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// shared runs the plumbing tests; it checks that every experiment produces
+// structurally valid output quickly. Learning-quality (shape) assertions
+// live in shape_test.go at the larger ShapeScale.
+var shared = NewSuite(TinyScale())
+
+func TestRunTable2(t *testing.T) {
+	res, err := RunTable2(TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cities) != 3 || len(res.Stats) != 3 {
+		t.Fatalf("want 3 cities, got %d", len(res.Cities))
+	}
+	for i, st := range res.Stats {
+		if st.NumOrders == 0 || st.AvgTravelSec <= 0 || st.AvgSegments < 1 || st.AvgLengthM <= 0 {
+			t.Fatalf("city %s has degenerate stats: %+v", res.Cities[i], st)
+		}
+		if st.AvgGPSPoints < 2 {
+			t.Fatalf("city %s has too few GPS points per trip: %+v", res.Cities[i], st)
+		}
+	}
+	// beijing-s must be the largest dataset (mirrors BRN ≫ CRN/XRN).
+	if res.Stats[2].NumOrders <= res.Stats[0].NumOrders {
+		t.Fatalf("beijing-s should have the most orders: %+v", res.Stats)
+	}
+	out := res.String()
+	for _, want := range []string{"Table 2", "# of orders", "Avg travel time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable4Plumbing(t *testing.T) {
+	res, err := RunTable4(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(AllTable4Methods) {
+		t.Fatalf("want %d rows, got %d", len(AllTable4Methods), len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for _, city := range res.Cities {
+			if r.MAPE[city] <= 0 || r.MAPE[city] > 5 {
+				t.Fatalf("%s on %s has implausible MAPE %v", r.Method, city, r.MAPE[city])
+			}
+			if r.MAE[city] <= 0 {
+				t.Fatalf("%s on %s has non-positive MAE", r.Method, city)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "DeepOD") {
+		t.Fatal("Table 4 output missing DeepOD row")
+	}
+}
+
+func TestRunTable5Plumbing(t *testing.T) {
+	t5, err := RunTable5(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tempRow, lrRow, deepRow EfficiencyRow
+	for _, row := range t5.Rows {
+		for _, city := range t5.Cities {
+			if row.SizeBytes[city] <= 0 {
+				t.Fatalf("%s has zero model size on %s", row.Method, city)
+			}
+			if row.EstimatePerK[city] <= 0 {
+				t.Fatalf("%s has zero estimation time on %s", row.Method, city)
+			}
+		}
+		switch row.Method {
+		case "TEMP":
+			tempRow = row
+		case "LR":
+			lrRow = row
+		case "DeepOD":
+			deepRow = row
+		}
+	}
+	// Table 5 findings: TEMP's memory grows with data; deep estimation
+	// costs more than LR's.
+	if tempRow.SizeBytes["beijing-s"] <= tempRow.SizeBytes["xian-s"] {
+		t.Error("TEMP model size should grow with dataset size")
+	}
+	if deepRow.EstimatePerK["chengdu-s"] <= lrRow.EstimatePerK["chengdu-s"] {
+		t.Error("DeepOD estimation should cost more than LR")
+	}
+}
+
+func TestRunTable3Figure10(t *testing.T) {
+	res, err := RunTable3Figure10(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cities) != 2 {
+		t.Fatalf("Table 3 should cover 2 cities, got %d", len(res.Cities))
+	}
+	for _, city := range res.Cities {
+		if len(res.Rows[city]) != 3 {
+			t.Fatalf("Table 3 should have 3 methods on %s", city)
+		}
+		for _, row := range res.Rows[city] {
+			if row.Steps == 0 || len(row.Curve) == 0 {
+				t.Fatalf("%s on %s has empty curve", row.Method, city)
+			}
+			if row.ConvergedStep > row.Steps {
+				t.Fatalf("%s converged after the run ended?", row.Method)
+			}
+			if row.ConvergedAt > row.Elapsed {
+				t.Fatalf("%s convergence time exceeds total time", row.Method)
+			}
+		}
+	}
+	out := res.String()
+	if !strings.Contains(out, "Figure 10") || !strings.Contains(out, "Table 3") {
+		t.Fatal("Table 3 output incomplete")
+	}
+}
+
+func TestRunTable6Plumbing(t *testing.T) {
+	res, err := RunTable6(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.City != "beijing-s" {
+		t.Fatalf("Table 6 should use the largest city, got %s", res.City)
+	}
+	for _, m := range Table6Methods {
+		if len(res.MAPE[m]) != len(res.Fractions) {
+			t.Fatalf("%s has %d points, want %d", m, len(res.MAPE[m]), len(res.Fractions))
+		}
+		for i, v := range res.MAPE[m] {
+			if v <= 0 || v > 5 {
+				t.Fatalf("%s fraction %.0f%% has implausible MAPE %v", m, res.Fractions[i]*100, v)
+			}
+		}
+	}
+}
+
+func TestRunTable7Plumbing(t *testing.T) {
+	res, err := RunTable7(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range EmbeddingVariants {
+		for _, city := range res.Cities {
+			if res.Variant[v][city] <= 0 {
+				t.Fatalf("variant %s has zero MAPE on %s", v, city)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "T-stamp") {
+		t.Fatal("Table 7 output incomplete")
+	}
+}
+
+func TestFiguresPlumbing(t *testing.T) {
+	f11, err := RunFigure11(shared, "chengdu-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Figure11Methods {
+		if len(f11.Density[m]) != len(f11.Grid) {
+			t.Fatalf("KDE for %s has wrong length", m)
+		}
+		if f11.Mean[m] <= 0 {
+			t.Fatalf("%s has non-positive APE mean", m)
+		}
+	}
+
+	f12, err := RunFigure12(shared, "chengdu-s", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Figure11Methods {
+		if len(f12.Points[m]) == 0 {
+			t.Fatalf("Figure 12 has no points for %s", m)
+		}
+		for _, p := range f12.Points[m] {
+			if p.Actual <= 0 || p.Actual >= 3600 {
+				t.Fatalf("Figure 12 sampled a trip outside (0, 1h): %+v", p)
+			}
+		}
+	}
+
+	f13, err := RunFigure13(shared, "chengdu-s", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Figure11Methods {
+		if len(f13.Points[m]) != 10 {
+			t.Fatalf("Figure 13 wants 10 worst cases for %s, got %d", m, len(f13.Points[m]))
+		}
+		// Worst cases must be sorted by APE descending.
+		prev := 2.0e18
+		for _, p := range f13.Points[m] {
+			ape := abs(p.Actual-p.Estimated) / p.Actual
+			if ape > prev+1e-9 {
+				t.Fatalf("Figure 13 worst cases for %s not sorted", m)
+			}
+			prev = ape
+		}
+	}
+
+	f14b, err := RunFigure14b(shared, "chengdu-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonzero int
+	for d := 0; d < 7; d++ {
+		for h := 0; h < 24; h++ {
+			if f14b.Heat[d][h] != 0 {
+				nonzero++
+			}
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("Figure 14b heatmap is all zeros")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRunFigure5a(t *testing.T) {
+	res, err := RunFigure5a(TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Roads) != 4 {
+		t.Fatalf("want 4 roads, got %d", len(res.Roads))
+	}
+	for i := range res.Flow {
+		if len(res.Flow[i]) != res.Days {
+			t.Fatalf("road %d has %d days, want %d", i, len(res.Flow[i]), res.Days)
+		}
+	}
+	// Weekday flow should exceed weekend flow on average (commute pattern).
+	f := res.Flow[0]
+	weekday := (f[1] + f[2] + f[3]) / 3
+	weekend := (f[5] + f[6]) / 2
+	if weekday <= weekend {
+		t.Errorf("weekday congestion %.4f should exceed weekend %.4f", weekday, weekend)
+	}
+}
+
+func TestRunFigure9Small(t *testing.T) {
+	res, err := RunFigure9(TinyScale(), "chengdu-s", []float64{0.1, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boxes) != 2 {
+		t.Fatalf("want 2 boxes, got %d", len(res.Boxes))
+	}
+	for _, bx := range res.Boxes {
+		if !(bx.Min <= bx.Q1 && bx.Q1 <= bx.Median && bx.Median <= bx.Q3 && bx.Q3 <= bx.Max) {
+			t.Fatalf("box stats out of order: %+v", bx)
+		}
+	}
+	if w := res.BestWeight(); w != 0.1 && w != 0.7 {
+		t.Fatalf("BestWeight returned %v, not one of the swept values", w)
+	}
+}
+
+func TestRunFigure14a(t *testing.T) {
+	res, err := RunFigure14a(TinyScale(), "chengdu-s", []int{30, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MAPE) != 2 {
+		t.Fatalf("want 2 MAPE points, got %d", len(res.MAPE))
+	}
+	if res.BestSlotMins != 30 && res.BestSlotMins != 120 {
+		t.Fatalf("BestSlotMins = %d", res.BestSlotMins)
+	}
+}
+
+func TestRunFigure8OneParam(t *testing.T) {
+	res, err := RunFigure8(TinyScale(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Figure8Params {
+		if len(res.MAPE[p]) != 1 || res.MAPE[p][0] <= 0 {
+			t.Fatalf("param %s has bad sweep result: %+v", p, res.MAPE[p])
+		}
+	}
+}
+
+func TestRunEmbedStudy(t *testing.T) {
+	res, err := RunEmbedStudy(TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 3 {
+		t.Fatalf("methods = %v", res.Methods)
+	}
+	for _, m := range res.Methods {
+		if res.MAPE[m] <= 0 || res.MAE[m] <= 0 {
+			t.Fatalf("method %s has degenerate errors", m)
+		}
+	}
+	if !strings.Contains(res.String(), "node2vec") {
+		t.Fatal("embed study output incomplete")
+	}
+}
+
+func TestRunExtRoute(t *testing.T) {
+	res, err := RunExtRoute(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Methods {
+		if res.MAE[m] <= 0 || res.MAPE[m] <= 0 {
+			t.Fatalf("%s has degenerate errors", m)
+		}
+	}
+	if res.Coverage <= 0 || res.Coverage > 1 {
+		t.Fatalf("coverage %v out of range", res.Coverage)
+	}
+	if !strings.Contains(res.String(), "RouteETA") {
+		t.Fatal("extension output incomplete")
+	}
+}

@@ -1,0 +1,541 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"deepod/internal/core"
+	"deepod/internal/metrics"
+	"deepod/internal/plot"
+	"deepod/internal/roadnet"
+	"deepod/internal/timeslot"
+	"deepod/internal/tsne"
+)
+
+// Figure5aResult shows the weekly periodicity of simulated traffic flow on
+// a few roads (a sanity check that the simulator exhibits the structure
+// Figure 5a documents for real Chengdu roads).
+type Figure5aResult struct {
+	City  string
+	Roads []roadnet.EdgeID
+	// Flow[r][d] is a congestion-derived flow proxy of road r on day d.
+	Flow [][]float64
+	Days int
+}
+
+// RunFigure5a samples four roads' average congestion per day.
+func RunFigure5a(sc Scale) (*Figure5aResult, error) {
+	w, err := BuildWorld(sc.CityList()[0], sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5aResult{City: w.City, Days: sc.HorizonDays}
+	g := w.Graph
+	step := g.NumEdges() / 4
+	for i := 0; i < 4; i++ {
+		res.Roads = append(res.Roads, roadnet.EdgeID(i*step))
+	}
+	for _, e := range res.Roads {
+		days := make([]float64, sc.HorizonDays)
+		for d := 0; d < sc.HorizonDays; d++ {
+			// Flow proxy: mean congestion drop over the day (higher drop =
+			// more traffic).
+			var s float64
+			const samples = 24
+			for h := 0; h < samples; h++ {
+				sec := float64(d)*timeslot.SecondsPerDay + float64(h)*3600
+				s += 1 - w.Traffic.Congestion(e, sec)
+			}
+			days[d] = s / samples
+		}
+		res.Flow = append(res.Flow, days)
+	}
+	return res, nil
+}
+
+// String prints per-road daily series.
+func (r *Figure5aResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5a: Weekly periodicity of traffic flow proxy (%s)\n", r.City)
+	for i, e := range r.Roads {
+		fmt.Fprintf(&b, "  road%d (edge %d):", i+1, e)
+		for _, v := range r.Flow[i] {
+			fmt.Fprintf(&b, " %.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure8Result reproduces Figure 8: validation MAPE and MARE for each
+// hyper-parameter swept over a size grid.
+type Figure8Result struct {
+	Scale string
+	City  string
+	// Sizes is the sweep grid (the paper uses 32..256; scaled runs use a
+	// proportional grid).
+	Sizes []int
+	// MAPE/MARE[param][i] is the validation error with param set to
+	// Sizes[i].
+	Params []string
+	MAPE   map[string][]float64
+	MARE   map[string][]float64
+}
+
+// Figure8Params lists the hyper-parameters the paper sweeps.
+var Figure8Params = []string{"ds", "dt", "d1m", "d2m", "d3m", "d4m_d8m", "d5m", "d6m", "d7m", "d9m", "dh", "dtraf"}
+
+// RunFigure8 sweeps each hyper-parameter independently (others fixed at the
+// scale's defaults) and records validation errors on the first city.
+func RunFigure8(sc Scale, sizes []int) (*Figure8Result, error) {
+	if len(sizes) == 0 {
+		sizes = []int{8, 16, 32}
+	}
+	w, err := BuildWorld(sc.CityList()[0], sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure8Result{
+		Scale: sc.Name, City: w.City, Sizes: sizes, Params: Figure8Params,
+		MAPE: map[string][]float64{}, MARE: map[string][]float64{},
+	}
+	apply := func(cfg *core.Config, param string, v int) {
+		switch param {
+		case "ds":
+			cfg.Ds = v
+		case "dt":
+			cfg.Dt = v
+		case "d1m":
+			cfg.D1m = v
+		case "d2m":
+			cfg.D2m = v
+		case "d3m":
+			cfg.D3m = v
+		case "d4m_d8m":
+			cfg.D4m = v
+		case "d5m":
+			cfg.D5m = v
+		case "d6m":
+			cfg.D6m = v
+		case "d7m":
+			cfg.D7m = v
+		case "d9m":
+			cfg.D9m = v
+		case "dh":
+			cfg.Dh = v
+		case "dtraf":
+			cfg.Dtraf = v
+		default:
+			panic("experiments: unknown Figure 8 parameter " + param)
+		}
+	}
+	for _, param := range Figure8Params {
+		for _, v := range sizes {
+			cfg := sc.Cfg
+			apply(&cfg, param, v)
+			m, err := core.New(cfg, w.Graph)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := m.Train(w.Split.Train, w.Split.Valid, core.TrainOptions{}); err != nil {
+				return nil, err
+			}
+			actual := make([]float64, len(w.Split.Valid))
+			pred := make([]float64, len(w.Split.Valid))
+			for i := range w.Split.Valid {
+				actual[i] = w.Split.Valid[i].TravelSec
+				pred[i] = m.Estimate(&w.Split.Valid[i].Matched)
+			}
+			res.MAPE[param] = append(res.MAPE[param], metrics.MAPE(actual, pred))
+			res.MARE[param] = append(res.MARE[param], metrics.MARE(actual, pred))
+		}
+	}
+	return res, nil
+}
+
+// String prints one panel per parameter.
+func (r *Figure8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: Validation MAPE & MARE vs hyper-parameters (%s, scale=%s)\n", r.City, r.Scale)
+	for _, p := range r.Params {
+		fmt.Fprintf(&b, "  %-8s", p)
+		for i, sz := range r.Sizes {
+			fmt.Fprintf(&b, "  [%d] MAPE=%.2f%% MARE=%.2f%%", sz, r.MAPE[p][i]*100, r.MARE[p][i]*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure9Result reproduces Figure 9: per-batch validation MAPE box plots as
+// the auxiliary-loss weight w varies.
+type Figure9Result struct {
+	Scale   string
+	City    string
+	Weights []float64
+	Boxes   []metrics.BoxStats
+}
+
+// RunFigure9 trains DeepOD per weight and box-plots per-batch MAPE on the
+// validation set.
+func RunFigure9(sc Scale, city string, weights []float64) (*Figure9Result, error) {
+	if len(weights) == 0 {
+		weights = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	w, err := BuildWorld(city, sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure9Result{Scale: sc.Name, City: city, Weights: weights}
+	const miniBatch = 32
+	for _, wt := range weights {
+		cfg := sc.Cfg
+		cfg.AuxWeight = wt
+		m, err := core.New(cfg, w.Graph)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Train(w.Split.Train, w.Split.Valid, core.TrainOptions{}); err != nil {
+			return nil, err
+		}
+		// Per-mini-batch MAPE over the validation set.
+		var batchMAPEs []float64
+		for lo := 0; lo+1 < len(w.Split.Valid); lo += miniBatch {
+			hi := lo + miniBatch
+			if hi > len(w.Split.Valid) {
+				hi = len(w.Split.Valid)
+			}
+			actual := make([]float64, hi-lo)
+			pred := make([]float64, hi-lo)
+			for i := lo; i < hi; i++ {
+				actual[i-lo] = w.Split.Valid[i].TravelSec
+				pred[i-lo] = m.Estimate(&w.Split.Valid[i].Matched)
+			}
+			batchMAPEs = append(batchMAPEs, metrics.MAPE(actual, pred))
+		}
+		res.Boxes = append(res.Boxes, metrics.Box(batchMAPEs))
+	}
+	return res, nil
+}
+
+// BestWeight returns the weight with the lowest mean MAPE.
+func (r *Figure9Result) BestWeight() float64 {
+	best, bw := r.Boxes[0].Mean, r.Weights[0]
+	for i := 1; i < len(r.Weights); i++ {
+		if r.Boxes[i].Mean < best {
+			best, bw = r.Boxes[i].Mean, r.Weights[i]
+		}
+	}
+	return bw
+}
+
+// String prints the per-weight box statistics.
+func (r *Figure9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: MAPE vs loss weight w (%s, scale=%s)\n", r.City, r.Scale)
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s %8s %8s %8s\n", "w", "min", "q1", "median", "q3", "max", "mean")
+	for i, wt := range r.Weights {
+		bx := r.Boxes[i]
+		fmt.Fprintf(&b, "%-6.1f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			wt, bx.Min*100, bx.Q1*100, bx.Median*100, bx.Q3*100, bx.Max*100, bx.Mean*100)
+	}
+	fmt.Fprintf(&b, "best w = %.1f\n", r.BestWeight())
+	return b.String()
+}
+
+// Figure11Result reproduces Figure 11: the probability density of
+// per-sample test MAPE for every method.
+type Figure11Result struct {
+	Scale string
+	City  string
+	Grid  []float64
+	// Density[method] aligns with Grid; Mean/Variance summarize each
+	// method's APE distribution.
+	Density  map[string][]float64
+	Mean     map[string]float64
+	Variance map[string]float64
+}
+
+// Figure11Methods is the plotted method set.
+var Figure11Methods = []string{"TEMP", "LR", "GBM", "STNN", "MURAT", "DeepOD"}
+
+// RunFigure11 computes each method's test APE distribution on a city.
+func RunFigure11(s *Suite, city string) (*Figure11Result, error) {
+	res := &Figure11Result{
+		Scale: s.Scale.Name, City: city,
+		Density: map[string][]float64{}, Mean: map[string]float64{}, Variance: map[string]float64{},
+	}
+	for _, method := range Figure11Methods {
+		actual, pred, err := s.TestErrors(city, method)
+		if err != nil {
+			return nil, err
+		}
+		apes := metrics.PerSampleAPE(actual, pred)
+		grid, dens := metrics.KDE(apes, 0, 1.5, 60)
+		res.Grid = grid
+		res.Density[method] = dens
+		res.Mean[method], res.Variance[method] = metrics.Moments(apes)
+	}
+	return res, nil
+}
+
+// String prints distribution summaries (mean/variance) and coarse curves.
+func (r *Figure11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: MAPE distribution on test data (%s, scale=%s)\n", r.City, r.Scale)
+	for _, m := range Figure11Methods {
+		fmt.Fprintf(&b, "  %-8s mean=%.3f var=%.4f  pdf: %s\n",
+			m, r.Mean[m], r.Variance[m], plot.Sparkline(r.Density[m]))
+	}
+	return b.String()
+}
+
+// ScatterPoint is one (actual, estimated) pair of Figures 12–13.
+type ScatterPoint struct {
+	Actual, Estimated float64
+}
+
+// Figure12Result reproduces Figure 12: 50 random test trips per city, with
+// every method's estimate.
+type Figure12Result struct {
+	Scale  string
+	City   string
+	Points map[string][]ScatterPoint
+}
+
+// RunFigure12 samples up to n random test trips (travel time < 1 h, per the
+// paper) and records every method's estimates.
+func RunFigure12(s *Suite, city string, n int) (*Figure12Result, error) {
+	w, err := s.World(city)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = 50
+	}
+	rng := rand.New(rand.NewSource(42))
+	var idxs []int
+	for i := range w.Split.Test {
+		if w.Split.Test[i].TravelSec < 3600 {
+			idxs = append(idxs, i)
+		}
+	}
+	rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+	if len(idxs) > n {
+		idxs = idxs[:n]
+	}
+	res := &Figure12Result{Scale: s.Scale.Name, City: city, Points: map[string][]ScatterPoint{}}
+	for _, method := range Figure11Methods {
+		m, err := s.Model(city, method)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range idxs {
+			rec := &w.Split.Test[i]
+			res.Points[method] = append(res.Points[method], ScatterPoint{
+				Actual:    rec.TravelSec,
+				Estimated: m.Estimate(&rec.Matched),
+			})
+		}
+	}
+	return res, nil
+}
+
+// String prints the scatter pairs.
+func (r *Figure12Result) String() string {
+	return scatterString("Figure 12: Estimated vs actual time", r.City, r.Scale, r.Points)
+}
+
+// Figure13Result reproduces Figure 13: each method's worst cases by MAPE.
+type Figure13Result struct {
+	Scale  string
+	City   string
+	Points map[string][]ScatterPoint
+}
+
+// RunFigure13 selects each method's k worst test cases by APE.
+func RunFigure13(s *Suite, city string, k int) (*Figure13Result, error) {
+	if k <= 0 {
+		k = 50
+	}
+	res := &Figure13Result{Scale: s.Scale.Name, City: city, Points: map[string][]ScatterPoint{}}
+	for _, method := range Figure11Methods {
+		actual, pred, err := s.TestErrors(city, method)
+		if err != nil {
+			return nil, err
+		}
+		apes := metrics.PerSampleAPE(actual, pred)
+		for _, i := range metrics.WorstK(apes, k) {
+			res.Points[method] = append(res.Points[method], ScatterPoint{Actual: actual[i], Estimated: pred[i]})
+		}
+	}
+	return res, nil
+}
+
+// String prints the worst-case pairs.
+func (r *Figure13Result) String() string {
+	return scatterString("Figure 13: Worst cases (estimated vs actual)", r.City, r.Scale, r.Points)
+}
+
+func scatterString(title, city, scale string, points map[string][]ScatterPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s, scale=%s)\n", title, city, scale)
+	for _, m := range Figure11Methods {
+		fmt.Fprintf(&b, "  %-8s", m)
+		for _, p := range points[m] {
+			fmt.Fprintf(&b, " (%.0f,%.0f)", p.Actual, p.Estimated)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure14aResult reproduces Figure 14a: test MAPE vs the time-slot size.
+type Figure14aResult struct {
+	Scale        string
+	City         string
+	SlotMinutes  []int
+	MAPE         []float64
+	BestSlotMins int
+}
+
+// RunFigure14a sweeps Δt.
+func RunFigure14a(sc Scale, city string, slotMinutes []int) (*Figure14aResult, error) {
+	if len(slotMinutes) == 0 {
+		slotMinutes = []int{5, 15, 30, 60, 120}
+	}
+	w, err := BuildWorld(city, sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure14aResult{Scale: sc.Name, City: city, SlotMinutes: slotMinutes}
+	best := -1
+	for _, mins := range slotMinutes {
+		cfg := sc.Cfg
+		cfg.SlotDelta = time.Duration(mins) * time.Minute
+		m, err := core.New(cfg, w.Graph)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Train(w.Split.Train, w.Split.Valid, core.TrainOptions{}); err != nil {
+			return nil, err
+		}
+		actual := make([]float64, len(w.Split.Test))
+		pred := make([]float64, len(w.Split.Test))
+		for i := range w.Split.Test {
+			actual[i] = w.Split.Test[i].TravelSec
+			pred[i] = m.Estimate(&w.Split.Test[i].Matched)
+		}
+		mape := metrics.MAPE(actual, pred)
+		res.MAPE = append(res.MAPE, mape)
+		if best < 0 || mape < res.MAPE[best] {
+			best = len(res.MAPE) - 1
+		}
+	}
+	res.BestSlotMins = res.SlotMinutes[best]
+	return res, nil
+}
+
+// String prints the sweep.
+func (r *Figure14aResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14a: MAPE vs time slot size (%s, scale=%s)\n", r.City, r.Scale)
+	for i, mins := range r.SlotMinutes {
+		fmt.Fprintf(&b, "  Δt=%3d min  MAPE=%.2f%%\n", mins, r.MAPE[i]*100)
+	}
+	fmt.Fprintf(&b, "best Δt = %d min\n", r.BestSlotMins)
+	return b.String()
+}
+
+// Figure14bResult reproduces Figure 14b: a day×hour heatmap of the learned
+// time-slot embeddings projected to 1-D with t-SNE.
+type Figure14bResult struct {
+	Scale string
+	City  string
+	// Heat[d][h] is the averaged 1-D projection of day d, hour h.
+	Heat [7][24]float64
+}
+
+// RunFigure14b trains DeepOD, projects Wt to 1-D and averages each hour.
+func RunFigure14b(s *Suite, city string) (*Figure14bResult, error) {
+	w, err := s.World(city)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := s.Model(city, "DeepOD")
+	if err != nil {
+		return nil, err
+	}
+	d, ok := dm.(*DeepODEstimator)
+	if !ok {
+		return nil, fmt.Errorf("experiments: DeepOD model has unexpected type %T", dm)
+	}
+	emb := d.Model().SlotEmbeddingTable()
+	if emb == nil {
+		return nil, fmt.Errorf("experiments: model has no slot embedding table")
+	}
+	slots := emb.V
+	vecs := make([][]float64, slots)
+	for i := 0; i < slots; i++ {
+		row := emb.W.Value.Row(i)
+		vecs[i] = row.Data
+	}
+	cfg := tsne.DefaultConfig(1)
+	cfg.Iters = 150
+	proj, err := tsne.Embed(vecs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	slotter := d.Model().Slotter()
+	res := &Figure14bResult{Scale: s.Scale.Name, City: w.City}
+	var counts [7][24]int
+	perHour := slotter.SlotsPerDay / 24
+	if perHour < 1 {
+		perHour = 1
+	}
+	for i := 0; i < slots; i++ {
+		day := slotter.DayOfWeek(i) % 7
+		hour := slotter.SlotOfDay(i) / perHour
+		if hour > 23 {
+			hour = 23
+		}
+		res.Heat[day][hour] += proj[i][0]
+		counts[day][hour]++
+	}
+	for dd := 0; dd < 7; dd++ {
+		for h := 0; h < 24; h++ {
+			if counts[dd][h] > 0 {
+				res.Heat[dd][h] /= float64(counts[dd][h])
+			}
+		}
+	}
+	return res, nil
+}
+
+// String prints the heatmap, both numerically (every other hour) and as a
+// shaded ASCII map.
+func (r *Figure14bResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14b: Heatmap of 1-D t-SNE of time-slot embeddings (%s, scale=%s)\n", r.City, r.Scale)
+	days := []string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+	fmt.Fprintf(&b, "%-5s", "")
+	for h := 0; h < 24; h += 2 {
+		fmt.Fprintf(&b, "%7dh", h)
+	}
+	b.WriteByte('\n')
+	rows := make([][]float64, 7)
+	for d := 0; d < 7; d++ {
+		fmt.Fprintf(&b, "%-5s", days[d])
+		rows[d] = make([]float64, 24)
+		copy(rows[d], r.Heat[d][:])
+		for h := 0; h < 24; h += 2 {
+			fmt.Fprintf(&b, "%8.2f", r.Heat[d][h])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("shaded (cols = hours 0..23):\n")
+	b.WriteString(plot.Heatmap(rows, days))
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package mapmatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepod/internal/geo"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	cfg := roadnet.SmallCity("mm", 9)
+	cfg.OneWayFrac = 0 // keep every street two-way for route checks
+	g, err := roadnet.GenerateCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testGraph(t)
+	bad := DefaultConfig()
+	bad.SigmaMeters = 0
+	if _, err := New(g, bad); err == nil {
+		t.Fatal("zero sigma accepted")
+	}
+	if _, err := New(g, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchPoint(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point exactly on an edge must match that edge (or its twin) with
+	// the right fraction.
+	target := roadnet.EdgeID(5)
+	p := g.PointAlongEdge(target, 0.3)
+	e, frac, err := m.MatchPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.EdgePoints(e)
+	_, _, d := geo.ProjectOnSegment(p, a, b)
+	if d > 1 {
+		t.Fatalf("matched edge %d is %v m from the query point", e, d)
+	}
+	if frac < 0 || frac > 1 {
+		t.Fatalf("fraction out of range: %v", frac)
+	}
+}
+
+// driveRoute simulates a vehicle driving a given edge sequence at constant
+// speed, emitting noisy GPS samples.
+func driveRoute(g *roadnet.Graph, edges []roadnet.EdgeID, noise float64, rng *rand.Rand) traj.Raw {
+	const speed = 10.0 // m/s
+	var pts []traj.GPSPoint
+	now := 0.0
+	for _, e := range edges {
+		a, b := g.EdgePoints(e)
+		length := geo.Dist(a, b)
+		steps := int(length/(speed*3)) + 1 // sample every ~3 s
+		for s := 0; s < steps; s++ {
+			f := float64(s) / float64(steps)
+			p := geo.Lerp(a, b, f)
+			pts = append(pts, traj.GPSPoint{
+				Pos: geo.Point{X: p.X + rng.NormFloat64()*noise, Y: p.Y + rng.NormFloat64()*noise},
+				T:   now + f*length/speed,
+			})
+		}
+		now += length / speed
+	}
+	last := g.Edges[edges[len(edges)-1]]
+	end := g.Vertices[last.To].Pos
+	pts = append(pts, traj.GPSPoint{Pos: end, T: now})
+	return traj.Raw{Points: pts}
+}
+
+func TestMatchRecoversDrivenRoute(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	// Drive a shortest path between two far corners.
+	p, err := roadnet.ShortestPath(g, 0, roadnet.VertexID(g.NumVertices()-1), 0, roadnet.FreeFlowCost(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := driveRoute(g, p.Edges, 6, rng)
+	got, err := m.Match(&raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(g); err != nil {
+		t.Fatalf("matched trajectory invalid: %v", err)
+	}
+	// The matched edge set must substantially overlap the driven route.
+	driven := map[roadnet.EdgeID]bool{}
+	for _, e := range p.Edges {
+		driven[e] = true
+	}
+	overlap := 0
+	for _, s := range got.Path {
+		if driven[s.Edge] {
+			overlap++
+		}
+	}
+	if frac := float64(overlap) / float64(len(p.Edges)); frac < 0.7 {
+		t.Fatalf("matched route overlaps only %.0f%% of the driven route", frac*100)
+	}
+	// Timing: total matched duration within 20%% of the driven duration.
+	gotDur := got.TravelTime()
+	wantDur := raw.Duration()
+	if math.Abs(gotDur-wantDur) > 0.2*wantDur+5 {
+		t.Fatalf("matched duration %v vs driven %v", gotDur, wantDur)
+	}
+}
+
+func TestMatchTimeIntervalsMonotone(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	p, err := roadnet.ShortestPath(g, 3, roadnet.VertexID(g.NumVertices()-4), 0, roadnet.FreeFlowCost(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := driveRoute(g, p.Edges, 4, rng)
+	got, err := m.Match(&raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got.Path); i++ {
+		if got.Path[i].Enter+1e-9 < got.Path[i-1].Exit {
+			t.Fatalf("intervals overlap at step %d", i)
+		}
+	}
+	if got.RStart < 0 || got.RStart > 1 || got.REnd < 0 || got.REnd > 1 {
+		t.Fatalf("position ratios out of range: %v %v", got.RStart, got.REnd)
+	}
+}
+
+func TestMatchRejectsBadInput(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match(&traj.Raw{Points: []traj.GPSPoint{{T: 0}}}); err == nil {
+		t.Fatal("single-point trajectory accepted")
+	}
+	if _, err := m.Match(&traj.Raw{Points: []traj.GPSPoint{{T: 5}, {T: 0}}}); err == nil {
+		t.Fatal("time-reversed trajectory accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicMetrics(t *testing.T) {
+	actual := []float64{100, 200, 400}
+	pred := []float64{110, 180, 400}
+	if got := MAE(actual, pred); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAE = %v, want 10", got)
+	}
+	wantMAPE := (10.0/100 + 20.0/200 + 0) / 3
+	if got := MAPE(actual, pred); math.Abs(got-wantMAPE) > 1e-12 {
+		t.Fatalf("MAPE = %v, want %v", got, wantMAPE)
+	}
+	wantMARE := 30.0 / 700
+	if got := MARE(actual, pred); math.Abs(got-wantMARE) > 1e-12 {
+		t.Fatalf("MARE = %v, want %v", got, wantMARE)
+	}
+}
+
+func TestMetricsPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"len mismatch": func() { MAE([]float64{1}, []float64{1, 2}) },
+		"empty":        func() { MAPE(nil, nil) },
+		"zero actual":  func() { MAPE([]float64{0}, []float64{1}) },
+		"all zero":     func() { MARE([]float64{0, 0}, []float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPerfectPredictionZeroError(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = 1 + rng.Float64()*1000
+		}
+		return MAE(y, y) == 0 && MAPE(y, y) == 0 && MARE(y, y) == 0
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MAPE ≥ MARE iff shorter trips carry bigger relative errors —
+// both are always non-negative, and scaling all values leaves them fixed.
+func TestMetricsScaleInvariance(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		y := make([]float64, n)
+		p := make([]float64, n)
+		for i := range y {
+			y[i] = 10 + rng.Float64()*1000
+			p[i] = 10 + rng.Float64()*1000
+		}
+		k := 1 + rng.Float64()*10
+		ys := make([]float64, n)
+		ps := make([]float64, n)
+		for i := range y {
+			ys[i], ps[i] = y[i]*k, p[i]*k
+		}
+		return math.Abs(MAPE(y, p)-MAPE(ys, ps)) < 1e-9 &&
+			math.Abs(MARE(y, p)-MARE(ys, ps)) < 1e-9 &&
+			math.Abs(MAE(ys, ps)-k*MAE(y, p)) < 1e-6
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerSampleAPE(t *testing.T) {
+	apes := PerSampleAPE([]float64{100, 200}, []float64{150, 100})
+	if apes[0] != 0.5 || apes[1] != 0.5 {
+		t.Fatalf("APEs = %v", apes)
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Mean != 3 {
+		t.Fatalf("Box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v %v", b.Q1, b.Q3)
+	}
+	// Single value.
+	one := Box([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.Median != 7 {
+		t.Fatalf("Box singleton = %+v", one)
+	}
+	// Must not reorder the input.
+	xs := []float64{3, 1, 2}
+	Box(xs)
+	if xs[0] != 3 {
+		t.Fatal("Box mutated its input")
+	}
+}
+
+func TestKDE(t *testing.T) {
+	xs := []float64{0.2, 0.21, 0.19, 0.2, 0.5}
+	grid, dens := KDE(xs, 0, 1, 50)
+	if len(grid) != 50 || len(dens) != 50 {
+		t.Fatalf("KDE sizes %d/%d", len(grid), len(dens))
+	}
+	// Density must peak nearer 0.2 than 0.9.
+	at := func(x float64) float64 {
+		best, bd := 0, math.Inf(1)
+		for i, g := range grid {
+			if d := math.Abs(g - x); d < bd {
+				best, bd = i, d
+			}
+		}
+		return dens[best]
+	}
+	if at(0.2) <= at(0.9) {
+		t.Fatal("KDE peak misplaced")
+	}
+	for _, d := range dens {
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("invalid density %v", d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad KDE input accepted")
+		}
+	}()
+	KDE(nil, 0, 1, 10)
+}
+
+func TestMoments(t *testing.T) {
+	mean, variance := Moments([]float64{2, 4, 6})
+	if mean != 4 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(variance-8.0/3) > 1e-12 {
+		t.Fatalf("variance = %v", variance)
+	}
+}
+
+func TestWorstK(t *testing.T) {
+	xs := []float64{0.1, 0.9, 0.5, 0.7}
+	idx := WorstK(xs, 2)
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("WorstK = %v", idx)
+	}
+	all := WorstK(xs, 10)
+	if len(all) != 4 {
+		t.Fatalf("WorstK clamped = %v", all)
+	}
+}

@@ -1,0 +1,110 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"deepod/internal/geo"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+// TEMP is the temporally weighted neighbors baseline of Wang et al. (2016):
+// the travel time of an OD query is the average travel time of historical
+// trips whose origin and destination both lie within a radius of the
+// query's endpoints and whose departure falls in the same time-of-week
+// slot. If no neighbors are found the radius and the slot tolerance widen
+// until some are (the paper notes TEMP suffers exactly when this search is
+// forced to generalize — the sparsity failure mode of Table 4 point 4).
+type TEMP struct {
+	g    *roadnet.Graph
+	feat *Featurizer
+
+	// RadiusMeters is the initial neighbor radius; SlotMinutes the
+	// time-of-week slot width.
+	RadiusMeters float64
+	SlotMinutes  float64
+
+	trips     []tempTrip
+	trainTime time.Duration
+}
+
+type tempTrip struct {
+	origin, dest geo.Point
+	weekSec      float64
+	travel       float64
+}
+
+// NewTEMP builds an untrained TEMP baseline.
+func NewTEMP(g *roadnet.Graph) *TEMP {
+	return &TEMP{g: g, feat: NewFeaturizer(g), RadiusMeters: 300, SlotMinutes: 30}
+}
+
+// Name implements Estimator.
+func (t *TEMP) Name() string { return "TEMP" }
+
+// Train memorizes the training trips (TEMP is non-learning; Table 5 counts
+// its model size as the stored trip data).
+func (t *TEMP) Train(train, _ []traj.TripRecord) error {
+	if len(train) == 0 {
+		return fmt.Errorf("models: TEMP needs at least one training trip")
+	}
+	start := time.Now()
+	t.trips = make([]tempTrip, len(train))
+	for i := range train {
+		o, d := t.feat.ODPoints(&train[i].Matched)
+		t.trips[i] = tempTrip{
+			origin:  o,
+			dest:    d,
+			weekSec: math.Mod(train[i].Matched.DepartSec, 7*86400),
+			travel:  train[i].TravelSec,
+		}
+	}
+	t.trainTime = time.Since(start)
+	return nil
+}
+
+// Estimate implements Estimator, widening the search until neighbors exist.
+func (t *TEMP) Estimate(od *traj.MatchedOD) float64 {
+	o, d := t.feat.ODPoints(od)
+	weekSec := math.Mod(od.DepartSec, 7*86400)
+	radius := t.RadiusMeters
+	slot := t.SlotMinutes * 60
+	for widen := 0; widen < 8; widen++ {
+		var sum float64
+		var n int
+		for i := range t.trips {
+			tr := &t.trips[i]
+			if geo.Dist(tr.origin, o) > radius || geo.Dist(tr.dest, d) > radius {
+				continue
+			}
+			dt := math.Abs(tr.weekSec - weekSec)
+			if dt > 7*86400-dt {
+				dt = 7*86400 - dt
+			}
+			if dt > slot {
+				continue
+			}
+			sum += tr.travel
+			n++
+		}
+		if n > 0 {
+			return sum / float64(n)
+		}
+		radius *= 2
+		slot *= 2
+	}
+	// Ultimate fallback: the global mean.
+	var sum float64
+	for i := range t.trips {
+		sum += t.trips[i].travel
+	}
+	return sum / float64(len(t.trips))
+}
+
+// SizeBytes reports the stored-trip footprint (5 float64 per trip).
+func (t *TEMP) SizeBytes() int { return len(t.trips) * 5 * 8 }
+
+// TrainTime implements Trainable.
+func (t *TEMP) TrainTime() time.Duration { return t.trainTime }

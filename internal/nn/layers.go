@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepod/internal/tensor"
+)
+
+// Linear is a fully connected layer y = W x + b with W ∈ R^{out×in}.
+type Linear struct {
+	W, B *Param
+	In   int
+	Out  int
+}
+
+// NewLinear registers a Xavier-initialized linear layer under prefix.
+func NewLinear(ps *ParamSet, rng *rand.Rand, prefix string, in, out int) *Linear {
+	return &Linear{
+		W:   ps.NewXavier(prefix+".W", rng, out, in),
+		B:   ps.New(prefix+".b", out),
+		In:  in,
+		Out: out,
+	}
+}
+
+// Forward applies the layer to vector node x.
+func (l *Linear) Forward(tp *Tape, x *Node) *Node {
+	if x.Value.Size() != l.In {
+		panic(fmt.Sprintf("nn: Linear %q expects input size %d, got %d", l.W.Name, l.In, x.Value.Size()))
+	}
+	return tp.Add(tp.MatVec(tp.Leaf(l.W), x), tp.Leaf(l.B))
+}
+
+// MLP2 is the paper's two-layer Multilayer Perceptron
+// y = W² ReLU(W¹ x + b¹) + b², the building block behind Formulas 11, 17,
+// 18, 19 and 20.
+type MLP2 struct {
+	L1, L2 *Linear
+}
+
+// NewMLP2 registers a two-layer MLP mapping in → hidden → out.
+func NewMLP2(ps *ParamSet, rng *rand.Rand, prefix string, in, hidden, out int) *MLP2 {
+	return &MLP2{
+		L1: NewLinear(ps, rng, prefix+".l1", in, hidden),
+		L2: NewLinear(ps, rng, prefix+".l2", hidden, out),
+	}
+}
+
+// Forward applies both layers with a ReLU in between.
+func (m *MLP2) Forward(tp *Tape, x *Node) *Node {
+	return m.L2.Forward(tp, tp.ReLU(m.L1.Forward(tp, x)))
+}
+
+// Embedding is a learnable lookup table W ∈ R^{V×d} (Formula 1: one-hot
+// codes times the embedding matrix select rows). The matrix can be
+// initialized from a pre-trained graph embedding (node2vec over the road
+// line graph or the temporal graph) and is fine-tuned by backpropagation.
+type Embedding struct {
+	W   *Param
+	V   int
+	Dim int
+}
+
+// NewEmbedding registers an embedding table initialized from N(0, 0.1²).
+func NewEmbedding(ps *ParamSet, rng *rand.Rand, name string, vocab, dim int) *Embedding {
+	return &Embedding{W: ps.NewNormal(name, rng, 0.1, vocab, dim), V: vocab, Dim: dim}
+}
+
+// Init overwrites the table with pre-trained vectors (Algorithm 1, lines
+// 1–4). vectors must have shape [V, dim].
+func (e *Embedding) Init(vectors *tensor.Tensor) error {
+	if !vectors.SameShape(e.W.Value) {
+		return fmt.Errorf("nn: embedding init shape %v != table shape %v", vectors.Shape, e.W.Value.Shape)
+	}
+	copy(e.W.Value.Data, vectors.Data)
+	return nil
+}
+
+// Lookup returns the embedding row for id as a differentiable node.
+func (e *Embedding) Lookup(tp *Tape, id int) *Node {
+	if id < 0 || id >= e.V {
+		panic(fmt.Sprintf("nn: embedding %q id %d out of range [0,%d)", e.W.Name, id, e.V))
+	}
+	return tp.Row(tp.Leaf(e.W), id)
+}
+
+// LSTM is a single-layer LSTM over a sequence of input vectors, following
+// Formulas 12–16: shared gate weights W_f, W_i, W_o, W_c ∈ R^{dh×(in+dh)}
+// acting on the concatenation [x_j, h_{j-1}], with c₀ = h₀ = 0.
+type LSTM struct {
+	Wf, Wi, Wo, Wc *Param
+	Bf, Bi, Bo, Bc *Param
+	In, Hidden     int
+}
+
+// NewLSTM registers an LSTM with input size in and state size hidden. The
+// forget-gate bias starts at 1 (standard practice for gradient flow).
+func NewLSTM(ps *ParamSet, rng *rand.Rand, prefix string, in, hidden int) *LSTM {
+	l := &LSTM{
+		Wf: ps.NewXavier(prefix+".Wf", rng, hidden, in+hidden),
+		Wi: ps.NewXavier(prefix+".Wi", rng, hidden, in+hidden),
+		Wo: ps.NewXavier(prefix+".Wo", rng, hidden, in+hidden),
+		Wc: ps.NewXavier(prefix+".Wc", rng, hidden, in+hidden),
+		Bf: ps.New(prefix+".bf", hidden),
+		Bi: ps.New(prefix+".bi", hidden),
+		Bo: ps.New(prefix+".bo", hidden),
+		Bc: ps.New(prefix+".bc", hidden),
+		In: in, Hidden: hidden,
+	}
+	l.Bf.Value.Fill(1)
+	return l
+}
+
+// Forward consumes the sequence and returns the final hidden state h_n.
+func (l *LSTM) Forward(tp *Tape, xs []*Node) *Node {
+	if len(xs) == 0 {
+		panic("nn: LSTM got an empty sequence")
+	}
+	h := tp.Const(tensor.New(l.Hidden))
+	c := tp.Const(tensor.New(l.Hidden))
+	for _, x := range xs {
+		if x.Value.Size() != l.In {
+			panic(fmt.Sprintf("nn: LSTM %q expects inputs of size %d, got %d", l.Wf.Name, l.In, x.Value.Size()))
+		}
+		xh := tp.Concat(x, h)
+		f := tp.Sigmoid(tp.Add(tp.MatVec(tp.Leaf(l.Wf), xh), tp.Leaf(l.Bf))) // Formula 12
+		i := tp.Sigmoid(tp.Add(tp.MatVec(tp.Leaf(l.Wi), xh), tp.Leaf(l.Bi))) // Formula 13
+		o := tp.Sigmoid(tp.Add(tp.MatVec(tp.Leaf(l.Wo), xh), tp.Leaf(l.Bo))) // Formula 14
+		g := tp.Tanh(tp.Add(tp.MatVec(tp.Leaf(l.Wc), xh), tp.Leaf(l.Bc)))
+		c = tp.Add(tp.Mul(f, c), tp.Mul(i, g)) // Formula 15
+		h = tp.Mul(o, tp.Tanh(c))              // Formula 16
+	}
+	return h
+}
+
+// Conv2DLayer is a convolution with an optional channel-norm + ReLU block,
+// i.e. the Conv2d → BatchNorm2d → ReLU unit of the paper's CNN models.
+type Conv2DLayer struct {
+	K           *Param
+	Gamma, Beta *Param // nil when Norm is false
+	Norm, Act   bool
+	PadH, PadW  int
+	StrH, StrW  int
+	OutC, InC   int
+	KH, KW      int
+}
+
+// NewConv2DLayer registers a conv layer. norm adds channel normalization
+// (the per-sample stand-in for BatchNorm, see Tape.ChannelNorm); act adds a
+// trailing ReLU.
+func NewConv2DLayer(ps *ParamSet, rng *rand.Rand, prefix string, inC, outC, kh, kw, padH, padW, strH, strW int, norm, act bool) *Conv2DLayer {
+	l := &Conv2DLayer{
+		K:    ps.NewXavier(prefix+".K", rng, outC, inC, kh, kw),
+		Norm: norm, Act: act,
+		PadH: padH, PadW: padW, StrH: strH, StrW: strW,
+		OutC: outC, InC: inC, KH: kh, KW: kw,
+	}
+	if norm {
+		l.Gamma = ps.New(prefix+".gamma", outC)
+		l.Gamma.Value.Fill(1)
+		l.Beta = ps.New(prefix+".beta", outC)
+	}
+	return l
+}
+
+// Forward applies conv (+ norm + ReLU) to a [C,H,W] node.
+func (l *Conv2DLayer) Forward(tp *Tape, x *Node) *Node {
+	y := tp.Conv2D(x, tp.Leaf(l.K), l.PadH, l.PadW, l.StrH, l.StrW)
+	if l.Norm {
+		y = tp.ChannelNorm(y, tp.Leaf(l.Gamma), tp.Leaf(l.Beta), 1e-5)
+	}
+	if l.Act {
+		y = tp.ReLU(y)
+	}
+	return y
+}

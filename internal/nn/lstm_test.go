@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepod/internal/tensor"
+)
+
+// TestLSTMMatchesHandRolledFormulas recomputes Formulas 12–16 with plain
+// loops and checks the layer agrees step by step.
+func TestLSTMMatchesHandRolledFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ps := NewParamSet()
+	const in, hidden = 3, 4
+	l := NewLSTM(ps, rng, "l", in, hidden)
+	xs := [][]float64{
+		{0.5, -1, 0.25},
+		{1, 0.1, -0.4},
+	}
+
+	sigmoid := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	gate := func(w *Param, b *Param, xh []float64) []float64 {
+		out := make([]float64, hidden)
+		for i := 0; i < hidden; i++ {
+			s := b.Value.Data[i]
+			for j, v := range xh {
+				s += w.Value.At(i, j) * v
+			}
+			out[i] = s
+		}
+		return out
+	}
+	h := make([]float64, hidden)
+	c := make([]float64, hidden)
+	for _, x := range xs {
+		xh := append(append([]float64{}, x...), h...)
+		f := gate(l.Wf, l.Bf, xh)
+		i := gate(l.Wi, l.Bi, xh)
+		o := gate(l.Wo, l.Bo, xh)
+		g := gate(l.Wc, l.Bc, xh)
+		for k := 0; k < hidden; k++ {
+			c[k] = sigmoid(f[k])*c[k] + sigmoid(i[k])*math.Tanh(g[k]) // Formula 15
+			h[k] = sigmoid(o[k]) * math.Tanh(c[k])                    // Formula 16
+		}
+	}
+
+	tp := NewEvalTape()
+	seq := make([]*Node, len(xs))
+	for i, x := range xs {
+		seq[i] = tp.Const(tensor.Vector(x...))
+	}
+	got := l.Forward(tp, seq)
+	for k := 0; k < hidden; k++ {
+		if math.Abs(got.Value.Data[k]-h[k]) > 1e-12 {
+			t.Fatalf("h[%d] = %v, hand-rolled %v", k, got.Value.Data[k], h[k])
+		}
+	}
+}
+
+// TestLSTMRejectsBadInput covers the defensive panics.
+func TestLSTMRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ps := NewParamSet()
+	l := NewLSTM(ps, rng, "l", 3, 4)
+	tp := NewTape()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty sequence accepted")
+			}
+		}()
+		l.Forward(tp, nil)
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input size accepted")
+		}
+	}()
+	l.Forward(tp, []*Node{tp.Const(tensor.Vector(1, 2))})
+}
+
+// TestAdamStepMatchesReference checks one Adam update against the published
+// update rule.
+func TestAdamStepMatchesReference(t *testing.T) {
+	ps := NewParamSet()
+	p := ps.New("p", 1)
+	p.Value.Data[0] = 0.5
+	p.Grad.Data[0] = 0.2
+
+	a := NewAdam(0.1)
+	a.Step(ps)
+
+	// t=1: m = 0.1*0.2*... with β1=0.9: m = 0.02, v = 0.001*0.04 → 4e-5
+	m := (1 - 0.9) * 0.2
+	v := (1 - 0.999) * 0.2 * 0.2
+	mHat := m / (1 - 0.9)
+	vHat := v / (1 - 0.999)
+	want := 0.5 - 0.1*mHat/(math.Sqrt(vHat)+1e-8)
+	if math.Abs(p.Value.Data[0]-want) > 1e-12 {
+		t.Fatalf("Adam step = %v, want %v", p.Value.Data[0], want)
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("Adam did not clear gradients")
+	}
+}
+
+// TestAdamWeightDecayShrinks checks decoupled decay.
+func TestAdamWeightDecayShrinks(t *testing.T) {
+	ps := NewParamSet()
+	p := ps.New("p", 1)
+	p.Value.Data[0] = 1
+	a := NewAdam(0.1)
+	a.WeightDecay = 0.5
+	a.Step(ps) // zero gradient: only decay applies
+	want := 1 * (1 - 0.1*0.5)
+	if math.Abs(p.Value.Data[0]-want) > 1e-12 {
+		t.Fatalf("decayed value %v, want %v", p.Value.Data[0], want)
+	}
+}

@@ -1,0 +1,448 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepod/internal/tensor"
+)
+
+// gradCheck runs the scalar-valued model f twice per weight of every
+// parameter in ps and compares the analytic gradient (one backward pass)
+// against a central finite difference.
+func gradCheck(t *testing.T, ps *ParamSet, f func(tp *Tape) *Node, tol float64) {
+	t.Helper()
+	ps.ZeroGrad()
+	tp := NewTape()
+	loss := f(tp)
+	tp.Backward(loss)
+
+	const h = 1e-6
+	for _, p := range ps.All() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			plus := f(NewEvalTape()).Value.Data[0]
+			p.Value.Data[i] = orig - h
+			minus := f(NewEvalTape()).Value.Data[0]
+			p.Value.Data[i] = orig
+			fd := (plus - minus) / (2 * h)
+			if math.Abs(fd-p.Grad.Data[i]) > tol {
+				t.Fatalf("param %q[%d]: analytic %v vs finite-diff %v", p.Name, i, p.Grad.Data[i], fd)
+			}
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, n int) *tensor.Tensor {
+	v := tensor.New(n)
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := NewParamSet()
+	lin := NewLinear(ps, rng, "lin", 4, 3)
+	x := randVec(rng, 4)
+	target := randVec(rng, 3)
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		y := lin.Forward(tp, tp.Const(x))
+		return tp.Sum(tp.Square(tp.Sub(y, tp.Const(target))))
+	}, 1e-4)
+}
+
+func TestMLP2Gradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := NewParamSet()
+	mlp := NewMLP2(ps, rng, "mlp", 3, 5, 2)
+	x := randVec(rng, 3)
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(mlp.Forward(tp, tp.Const(x))))
+	}, 1e-4)
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := NewParamSet()
+	p := ps.NewNormal("x", rng, 1, 6)
+	// Shift values away from ReLU/Abs kinks so finite differences are valid.
+	for i := range p.Value.Data {
+		if math.Abs(p.Value.Data[i]) < 0.05 {
+			p.Value.Data[i] = 0.1
+		}
+	}
+	for name, act := range map[string]func(tp *Tape, n *Node) *Node{
+		"relu":    func(tp *Tape, n *Node) *Node { return tp.ReLU(n) },
+		"sigmoid": func(tp *Tape, n *Node) *Node { return tp.Sigmoid(n) },
+		"tanh":    func(tp *Tape, n *Node) *Node { return tp.Tanh(n) },
+		"abs":     func(tp *Tape, n *Node) *Node { return tp.Abs(n) },
+		"square":  func(tp *Tape, n *Node) *Node { return tp.Square(n) },
+	} {
+		act := act
+		t.Run(name, func(t *testing.T) {
+			gradCheck(t, ps, func(tp *Tape) *Node {
+				return tp.Sum(act(tp, tp.Leaf(p)))
+			}, 1e-4)
+		})
+	}
+}
+
+func TestConcatAndStackGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps := NewParamSet()
+	a := ps.NewNormal("a", rng, 1, 3)
+	b := ps.NewNormal("b", rng, 1, 2)
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		cat := tp.Concat(tp.Leaf(a), tp.Leaf(b))
+		return tp.Sum(tp.Square(cat))
+	}, 1e-4)
+
+	ps2 := NewParamSet()
+	r1 := ps2.NewNormal("r1", rng, 1, 4)
+	r2 := ps2.NewNormal("r2", rng, 1, 4)
+	gradCheck(t, ps2, func(tp *Tape) *Node {
+		m := tp.StackRows(tp.Leaf(r1), tp.Leaf(r2))
+		return tp.Sum(tp.Square(tp.MeanCols(m)))
+	}, 1e-4)
+}
+
+func TestEmbeddingLookupGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := NewParamSet()
+	emb := NewEmbedding(ps, rng, "emb", 5, 3)
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		v := emb.Lookup(tp, 2)
+		w := emb.Lookup(tp, 4)
+		return tp.Sum(tp.Square(tp.Add(v, w)))
+	}, 1e-4)
+	// Rows not looked up must have zero gradient.
+	ps.ZeroGrad()
+	tp := NewTape()
+	loss := tp.Sum(tp.Square(emb.Lookup(tp, 1)))
+	tp.Backward(loss)
+	for r := 0; r < 5; r++ {
+		rowNorm := 0.0
+		for j := 0; j < 3; j++ {
+			rowNorm += math.Abs(emb.W.Grad.At(r, j))
+		}
+		if r == 1 && rowNorm == 0 {
+			t.Fatal("looked-up row has zero gradient")
+		}
+		if r != 1 && rowNorm != 0 {
+			t.Fatalf("row %d has gradient %v without being looked up", r, rowNorm)
+		}
+	}
+}
+
+func TestLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ps := NewParamSet()
+	lstm := NewLSTM(ps, rng, "lstm", 3, 4)
+	xs := []*tensor.Tensor{randVec(rng, 3), randVec(rng, 3), randVec(rng, 3)}
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		seq := make([]*Node, len(xs))
+		for i, x := range xs {
+			seq[i] = tp.Const(x)
+		}
+		h := lstm.Forward(tp, seq)
+		return tp.Sum(tp.Square(h))
+	}, 1e-4)
+}
+
+func TestConvLayerGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := NewParamSet()
+	conv := NewConv2DLayer(ps, rng, "c", 1, 2, 3, 1, 1, 0, 1, 1, false, false)
+	x := tensor.New(1, 4, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		y := conv.Forward(tp, tp.Const(x))
+		return tp.Sum(tp.Square(y))
+	}, 1e-4)
+}
+
+func TestChannelNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ps := NewParamSet()
+	x := ps.NewNormal("x", rng, 1, 2, 3, 2)
+	gamma := ps.New("gamma", 2)
+	gamma.Value.Fill(1.3)
+	beta := ps.NewNormal("beta", rng, 0.2, 2)
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		y := tp.ChannelNorm(tp.Leaf(x), tp.Leaf(gamma), tp.Leaf(beta), 1e-5)
+		// weight the output so per-channel gradients differ
+		w := tensor.New(2, 3, 2)
+		for i := range w.Data {
+			w.Data[i] = float64(i%5) - 2
+		}
+		return tp.Sum(tp.Mul(y, tp.Const(w)))
+	}, 1e-3)
+}
+
+func TestChannelNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := NewParamSet()
+	gamma := ps.New("g", 3)
+	gamma.Value.Fill(1)
+	beta := ps.New("b", 3)
+	tp := NewEvalTape()
+	x := tensor.New(3, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()*5 + 10
+	}
+	y := tp.ChannelNorm(tp.Const(x), tp.Leaf(gamma), tp.Leaf(beta), 1e-8)
+	for c := 0; c < 3; c++ {
+		seg := y.Value.Data[c*16 : (c+1)*16]
+		var mean, vr float64
+		for _, v := range seg {
+			mean += v
+		}
+		mean /= 16
+		for _, v := range seg {
+			vr += (v - mean) * (v - mean)
+		}
+		vr /= 16
+		if math.Abs(mean) > 1e-9 || math.Abs(vr-1) > 1e-6 {
+			t.Fatalf("channel %d not normalized: mean %v var %v", c, mean, vr)
+		}
+	}
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ps := NewParamSet()
+	x := ps.NewNormal("x", rng, 1, 2, 3, 3)
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.GlobalAvgPool(tp.Leaf(x))))
+	}, 1e-4)
+}
+
+func TestL2DistanceAndAbsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ps := NewParamSet()
+	a := ps.NewNormal("a", rng, 1, 4)
+	b := tensor.Vector(0.5, -1, 2, 0.25)
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		return tp.L2Distance(tp.Leaf(a), tp.Const(b))
+	}, 1e-4)
+
+	tp := NewEvalTape()
+	d := tp.L2Distance(tp.Const(tensor.Vector(3, 0)), tp.Const(tensor.Vector(0, 4)))
+	if math.Abs(d.Value.Data[0]-5) > 1e-12 {
+		t.Fatalf("L2Distance = %v, want 5", d.Value.Data[0])
+	}
+	e := tp.AbsError(tp.Const(tensor.Scalar(3)), tp.Const(tensor.Scalar(7.5)))
+	if math.Abs(e.Value.Data[0]-4.5) > 1e-12 {
+		t.Fatalf("AbsError = %v, want 4.5", e.Value.Data[0])
+	}
+}
+
+func TestReshapeGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ps := NewParamSet()
+	x := ps.NewNormal("x", rng, 1, 6)
+	gradCheck(t, ps, func(tp *Tape) *Node {
+		m := tp.Reshape(tp.Leaf(x), 1, 2, 3)
+		return tp.Sum(tp.Square(m))
+	}, 1e-4)
+}
+
+func TestEvalTapeRecordsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ps := NewParamSet()
+	mlp := NewMLP2(ps, rng, "mlp", 3, 4, 2)
+	tp := NewEvalTape()
+	y := mlp.Forward(tp, tp.Const(randVec(rng, 3)))
+	if tp.Len() != 0 {
+		t.Fatalf("eval tape recorded %d nodes", tp.Len())
+	}
+	if y.RequiresGrad() {
+		t.Fatal("eval output requires grad")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on eval tape did not panic")
+		}
+	}()
+	tp.Backward(tp.Sum(y))
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	ps := NewParamSet()
+	rng := rand.New(rand.NewSource(14))
+	p := ps.NewNormal("p", rng, 1, 3)
+	tp := NewTape()
+	y := tp.Square(tp.Leaf(p))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on non-scalar did not panic")
+		}
+	}()
+	tp.Backward(y)
+}
+
+func TestGradientAccumulationAcrossSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	ps := NewParamSet()
+	lin := NewLinear(ps, rng, "l", 2, 1)
+	x1, x2 := tensor.Vector(1, 0), tensor.Vector(0, 1)
+	run := func(x *tensor.Tensor) {
+		tp := NewTape()
+		tp.Backward(tp.Sum(lin.Forward(tp, tp.Const(x))))
+	}
+	run(x1)
+	g1 := append([]float64(nil), lin.W.Grad.Data...)
+	run(x2)
+	// After two samples the gradient should be the sum of both.
+	if lin.W.Grad.Data[0] != g1[0]+0 || lin.W.Grad.Data[1] != g1[1]+1 {
+		t.Fatalf("gradients did not accumulate: first %v then %v", g1, lin.W.Grad.Data)
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	ps := NewParamSet()
+	mlp := NewMLP2(ps, rng, "m", 1, 8, 1)
+	opt := NewAdam(0.01)
+	// Fit y = 2x + 1 on a few points.
+	xs := []float64{-1, -0.5, 0, 0.5, 1}
+	loss := func(record bool) float64 {
+		var total float64
+		for _, xv := range xs {
+			var tp *Tape
+			if record {
+				tp = NewTape()
+			} else {
+				tp = NewEvalTape()
+			}
+			y := mlp.Forward(tp, tp.Const(tensor.Scalar(xv)))
+			l := tp.Sum(tp.Square(tp.Sub(y, tp.Const(tensor.Scalar(2*xv+1)))))
+			if record {
+				tp.Backward(l)
+			}
+			total += l.Value.Data[0]
+		}
+		return total / float64(len(xs))
+	}
+	before := loss(false)
+	for i := 0; i < 200; i++ {
+		ps.ZeroGrad()
+		loss(true)
+		ps.ScaleGrads(1 / float64(len(xs)))
+		opt.Step(ps)
+	}
+	after := loss(false)
+	if after > before/10 {
+		t.Fatalf("Adam failed to fit: before %v after %v", before, after)
+	}
+	if opt.Steps() != 200 {
+		t.Fatalf("Steps() = %d", opt.Steps())
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	ps := NewParamSet()
+	p := ps.New("p", 1)
+	p.Value.Data[0] = 1
+	p.Grad.Data[0] = 0.5
+	(&SGD{LR: 0.1}).Step(ps)
+	if math.Abs(p.Value.Data[0]-0.95) > 1e-12 {
+		t.Fatalf("SGD step got %v", p.Value.Data[0])
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("SGD did not clear gradient")
+	}
+}
+
+func TestStepDecaySchedule(t *testing.T) {
+	s := PaperSchedule()
+	if s.At(0) != 0.01 || s.At(1) != 0.01 {
+		t.Fatalf("epochs 0-1 should use initial rate, got %v %v", s.At(0), s.At(1))
+	}
+	if math.Abs(s.At(2)-0.002) > 1e-12 {
+		t.Fatalf("epoch 2 rate = %v, want 0.002", s.At(2))
+	}
+	if math.Abs(s.At(5)-0.01*0.2*0.2) > 1e-15 {
+		t.Fatalf("epoch 5 rate = %v", s.At(5))
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	ps := NewParamSet()
+	p := ps.New("p", 2)
+	p.Grad.Data[0], p.Grad.Data[1] = 3, 4
+	norm := ClipGradNorm(ps, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	if math.Abs(ps.GradNorm()-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v", ps.GradNorm())
+	}
+}
+
+func TestSnapshotSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ps := NewParamSet()
+	mlp := NewMLP2(ps, rng, "m", 2, 3, 1)
+	snap := ps.Save()
+
+	ps2 := NewParamSet()
+	mlp2 := NewMLP2(ps2, rand.New(rand.NewSource(99)), "m", 2, 3, 1)
+	if err := ps2.Load(snap); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector(0.3, -0.7)
+	tp := NewEvalTape()
+	y1 := mlp.Forward(tp, tp.Const(x)).Value.Data[0]
+	y2 := mlp2.Forward(tp, tp.Const(x)).Value.Data[0]
+	if y1 != y2 {
+		t.Fatalf("loaded model differs: %v vs %v", y1, y2)
+	}
+
+	// Missing parameter must error.
+	ps3 := NewParamSet()
+	ps3.New("other", 2)
+	if err := ps3.Load(snap); err == nil {
+		t.Fatal("Load with missing param should error")
+	}
+	// Wrong size must error.
+	bad := Snapshot{}
+	for k, v := range snap {
+		bad[k] = v
+	}
+	bad["m.l1.W"] = []float64{1}
+	if err := ps2.Load(bad); err == nil {
+		t.Fatal("Load with wrong size should error")
+	}
+}
+
+func TestParamSetBookkeeping(t *testing.T) {
+	ps := NewParamSet()
+	a := ps.New("a", 2, 3)
+	ps.New("b", 4)
+	if ps.NumWeights() != 10 {
+		t.Fatalf("NumWeights = %d", ps.NumWeights())
+	}
+	if ps.SizeBytes() != 80 {
+		t.Fatalf("SizeBytes = %d", ps.SizeBytes())
+	}
+	if ps.Get("a") != a || ps.Get("zz") != nil {
+		t.Fatal("Get misbehaves")
+	}
+	names := ps.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	ps.New("a", 1)
+}

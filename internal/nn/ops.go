@@ -1,0 +1,360 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deepod/internal/tensor"
+)
+
+// MatVec returns W·x for a matrix node W of shape [m, n] and a vector node x
+// of size n. The result is a vector node of size m.
+func (tp *Tape) MatVec(w, x *Node) *Node {
+	out := tensor.MatVec(w.Value, x.Value)
+	return tp.node(out, func(n *Node) {
+		if w.requiresGrad && w.Grad != nil {
+			tensor.AddOuterInPlace(w.Grad, n.Grad, x.Value)
+		}
+		if x.requiresGrad && x.Grad != nil {
+			tensor.AddMatVecTInPlace(x.Grad, w.Value, n.Grad)
+		}
+	}, w, x)
+}
+
+// Add returns a + b element-wise (same shape).
+func (tp *Tape) Add(a, b *Node) *Node {
+	out := tensor.Add(a.Value, b.Value)
+	return tp.node(out, func(n *Node) {
+		accumulate(a, n.Grad)
+		accumulate(b, n.Grad)
+	}, a, b)
+}
+
+// Sub returns a - b element-wise.
+func (tp *Tape) Sub(a, b *Node) *Node {
+	out := tensor.Sub(a.Value, b.Value)
+	return tp.node(out, func(n *Node) {
+		accumulate(a, n.Grad)
+		accumulate(b, tensor.Scale(n.Grad, -1))
+	}, a, b)
+}
+
+// Mul returns the element-wise product a ⊗ b (paper's gate products).
+func (tp *Tape) Mul(a, b *Node) *Node {
+	out := tensor.Mul(a.Value, b.Value)
+	return tp.node(out, func(n *Node) {
+		accumulate(a, tensor.Mul(n.Grad, b.Value))
+		accumulate(b, tensor.Mul(n.Grad, a.Value))
+	}, a, b)
+}
+
+// Scale returns s·a for a constant s.
+func (tp *Tape) Scale(a *Node, s float64) *Node {
+	out := tensor.Scale(a.Value, s)
+	return tp.node(out, func(n *Node) {
+		accumulate(a, tensor.Scale(n.Grad, s))
+	}, a)
+}
+
+// unary applies f element-wise; df receives (x, f(x)) and returns df/dx.
+func (tp *Tape) unary(a *Node, f func(float64) float64, df func(x, y float64) float64) *Node {
+	out := tensor.Map(a.Value, f)
+	return tp.node(out, func(n *Node) {
+		if !a.requiresGrad {
+			return
+		}
+		g := tensor.New(a.Value.Shape...)
+		for i := range g.Data {
+			g.Data[i] = n.Grad.Data[i] * df(a.Value.Data[i], out.Data[i])
+		}
+		accumulate(a, g)
+	}, a)
+}
+
+// ReLU applies max(0, x) element-wise (Formula 9).
+func (tp *Tape) ReLU(a *Node) *Node {
+	return tp.unary(a,
+		func(x float64) float64 { return math.Max(0, x) },
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Sigmoid applies σ(x) = 1/(1+e⁻ˣ) element-wise.
+func (tp *Tape) Sigmoid(a *Node) *Node {
+	return tp.unary(a,
+		func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		func(_, y float64) float64 { return y * (1 - y) })
+}
+
+// Tanh applies the hyperbolic tangent element-wise.
+func (tp *Tape) Tanh(a *Node) *Node {
+	return tp.unary(a, math.Tanh,
+		func(_, y float64) float64 { return 1 - y*y })
+}
+
+// Abs applies |x| element-wise; the subgradient at 0 is 0.
+func (tp *Tape) Abs(a *Node) *Node {
+	return tp.unary(a, math.Abs,
+		func(x, _ float64) float64 {
+			switch {
+			case x > 0:
+				return 1
+			case x < 0:
+				return -1
+			}
+			return 0
+		})
+}
+
+// Square applies x² element-wise.
+func (tp *Tape) Square(a *Node) *Node {
+	return tp.unary(a,
+		func(x float64) float64 { return x * x },
+		func(x, _ float64) float64 { return 2 * x })
+}
+
+// Sum reduces all elements to a scalar node.
+func (tp *Tape) Sum(a *Node) *Node {
+	out := tensor.Scalar(a.Value.Sum())
+	return tp.node(out, func(n *Node) {
+		if !a.requiresGrad {
+			return
+		}
+		g := tensor.New(a.Value.Shape...)
+		g.Fill(n.Grad.Data[0])
+		accumulate(a, g)
+	}, a)
+}
+
+// Mean reduces all elements to their arithmetic mean.
+func (tp *Tape) Mean(a *Node) *Node {
+	return tp.Scale(tp.Sum(a), 1/float64(a.Value.Size()))
+}
+
+// Sqrt applies √x to a scalar node; the gradient is clamped near zero to
+// keep the auxiliary Euclidean loss (Algorithm 1, line 10) stable when the
+// two codes coincide.
+func (tp *Tape) Sqrt(a *Node) *Node {
+	return tp.unary(a, math.Sqrt,
+		func(_, y float64) float64 {
+			if y < 1e-8 {
+				y = 1e-8
+			}
+			return 0.5 / y
+		})
+}
+
+// Concat concatenates vector nodes into one vector node. It implements the
+// paper's concat(·) used throughout Section 4.
+func (tp *Tape) Concat(parts ...*Node) *Node {
+	vals := make([]*tensor.Tensor, len(parts))
+	for i, p := range parts {
+		vals[i] = p.Value
+	}
+	out := tensor.Concat(vals...)
+	return tp.node(out, func(n *Node) {
+		off := 0
+		for _, p := range parts {
+			sz := p.Value.Size()
+			if p.requiresGrad {
+				g := tensor.New(sz)
+				copy(g.Data, n.Grad.Data[off:off+sz])
+				accumulate(p, g)
+			}
+			off += sz
+		}
+	}, parts...)
+}
+
+// StackRows builds an [n, d] matrix node from n vector nodes of size d
+// (the paper's stacking of dense time-slot vectors into Dt).
+func (tp *Tape) StackRows(rows ...*Node) *Node {
+	if len(rows) == 0 {
+		panic("nn: StackRows needs at least one row")
+	}
+	d := rows[0].Value.Size()
+	out := tensor.New(len(rows), d)
+	for i, r := range rows {
+		if r.Value.Size() != d {
+			panic(fmt.Sprintf("nn: StackRows ragged input: row 0 has %d, row %d has %d", d, i, r.Value.Size()))
+		}
+		copy(out.Data[i*d:(i+1)*d], r.Value.Data)
+	}
+	return tp.node(out, func(n *Node) {
+		for i, r := range rows {
+			if !r.requiresGrad {
+				continue
+			}
+			g := tensor.New(d)
+			copy(g.Data, n.Grad.Data[i*d:(i+1)*d])
+			accumulate(r, g)
+		}
+	}, rows...)
+}
+
+// Reshape returns a node viewing a's value with a new shape.
+func (tp *Tape) Reshape(a *Node, shape ...int) *Node {
+	out := a.Value.Reshape(shape...)
+	return tp.node(out, func(n *Node) {
+		if !a.requiresGrad {
+			return
+		}
+		accumulate(a, n.Grad.Reshape(a.Value.Shape...))
+	}, a)
+}
+
+// MeanCols averages an [r, c] matrix node over rows into a length-c vector
+// node. This is the average pooling of Formula 10.
+func (tp *Tape) MeanCols(a *Node) *Node {
+	out := tensor.MeanCols(a.Value)
+	return tp.node(out, func(n *Node) {
+		if !a.requiresGrad {
+			return
+		}
+		r, c := a.Value.Shape[0], a.Value.Shape[1]
+		g := tensor.New(r, c)
+		inv := 1.0 / float64(r)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				g.Data[i*c+j] = n.Grad.Data[j] * inv
+			}
+		}
+		accumulate(a, g)
+	}, a)
+}
+
+// Row extracts row i of a matrix node W as a vector node, with a sparse
+// scatter gradient into row i. This is the embedding lookup Dᵢ = Wᵀ Oᵢ of
+// Formulas 1 and the time-slot embedding of Section 4.2: multiplying the
+// transposed embedding matrix by a one-hot vector selects a row.
+func (tp *Tape) Row(w *Node, i int) *Node {
+	out := w.Value.Row(i)
+	return tp.node(out, func(n *Node) {
+		if !w.requiresGrad {
+			return
+		}
+		c := w.Value.Shape[1]
+		g := tensor.New(w.Value.Shape...)
+		copy(g.Data[i*c:(i+1)*c], n.Grad.Data)
+		accumulate(w, g)
+	}, w)
+}
+
+// Conv2D cross-correlates input x [C,H,W] with kernel k [OC,C,KH,KW].
+func (tp *Tape) Conv2D(x, k *Node, padH, padW, strideH, strideW int) *Node {
+	out := tensor.Conv2D(x.Value, k.Value, padH, padW, strideH, strideW)
+	return tp.node(out, func(n *Node) {
+		gx, gk := tensor.Conv2DBackward(x.Value, k.Value, n.Grad, padH, padW, strideH, strideW)
+		accumulate(x, gx)
+		accumulate(k, gk)
+	}, x, k)
+}
+
+// ChannelNorm normalizes a [C,H,W] node per channel over its spatial
+// extent, then applies learnable per-channel scale gamma and shift beta.
+//
+// It plays the role of the paper's BatchNorm layers (Formulas 5–6 and the
+// traffic CNN of §4.5). Because this engine processes one sample at a time
+// (gradient accumulation instead of padded batches — see DESIGN.md §4.1),
+// the normalization statistics are computed over the sample's spatial
+// positions rather than over a batch; at evaluation time the same statistics
+// are used, so train and eval behaviour agree.
+func (tp *Tape) ChannelNorm(x, gamma, beta *Node, eps float64) *Node {
+	c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2]
+	m := h * w
+	out := tensor.New(c, h, w)
+	mu := make([]float64, c)
+	invStd := make([]float64, c)
+	xhat := tensor.New(c, h, w)
+	for ci := 0; ci < c; ci++ {
+		seg := x.Value.Data[ci*m : (ci+1)*m]
+		var s float64
+		for _, v := range seg {
+			s += v
+		}
+		mean := s / float64(m)
+		var vs float64
+		for _, v := range seg {
+			d := v - mean
+			vs += d * d
+		}
+		variance := vs / float64(m)
+		is := 1 / math.Sqrt(variance+eps)
+		mu[ci], invStd[ci] = mean, is
+		for i, v := range seg {
+			xh := (v - mean) * is
+			xhat.Data[ci*m+i] = xh
+			out.Data[ci*m+i] = gamma.Value.Data[ci]*xh + beta.Value.Data[ci]
+		}
+	}
+	return tp.node(out, func(n *Node) {
+		gGamma := tensor.New(c)
+		gBeta := tensor.New(c)
+		gx := tensor.New(c, h, w)
+		for ci := 0; ci < c; ci++ {
+			gOut := n.Grad.Data[ci*m : (ci+1)*m]
+			xh := xhat.Data[ci*m : (ci+1)*m]
+			var sumG, sumGX float64
+			for i := range gOut {
+				gGamma.Data[ci] += gOut[i] * xh[i]
+				gBeta.Data[ci] += gOut[i]
+				sumG += gOut[i]
+				sumGX += gOut[i] * xh[i]
+			}
+			// Standard batch-norm input gradient, per channel:
+			// dx = gamma*invStd/m * (m*g - sum(g) - xhat*sum(g*xhat))
+			coef := gamma.Value.Data[ci] * invStd[ci] / float64(m)
+			for i := range gOut {
+				gx.Data[ci*m+i] = coef * (float64(m)*gOut[i] - sumG - xh[i]*sumGX)
+			}
+		}
+		accumulate(gamma, gGamma)
+		accumulate(beta, gBeta)
+		accumulate(x, gx)
+	}, x, gamma, beta)
+}
+
+// GlobalAvgPool reduces a [C,H,W] node to a length-C vector node by
+// averaging each channel (the traffic CNN's final pooling layer).
+func (tp *Tape) GlobalAvgPool(x *Node) *Node {
+	c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2]
+	m := h * w
+	out := tensor.New(c)
+	for ci := 0; ci < c; ci++ {
+		var s float64
+		for _, v := range x.Value.Data[ci*m : (ci+1)*m] {
+			s += v
+		}
+		out.Data[ci] = s / float64(m)
+	}
+	return tp.node(out, func(n *Node) {
+		if !x.requiresGrad {
+			return
+		}
+		g := tensor.New(c, h, w)
+		inv := 1.0 / float64(m)
+		for ci := 0; ci < c; ci++ {
+			gv := n.Grad.Data[ci] * inv
+			for i := 0; i < m; i++ {
+				g.Data[ci*m+i] = gv
+			}
+		}
+		accumulate(x, g)
+	}, x)
+}
+
+// L2Distance returns the scalar Euclidean distance ‖a−b‖₂, the paper's
+// auxiliaryloss between code and stcode (Algorithm 1, line 10).
+func (tp *Tape) L2Distance(a, b *Node) *Node {
+	return tp.Sqrt(tp.Sum(tp.Square(tp.Sub(a, b))))
+}
+
+// AbsError returns |a−b| summed to a scalar; for scalar predictions this is
+// the per-sample MAE term (Algorithm 1, line 11).
+func (tp *Tape) AbsError(a, b *Node) *Node {
+	return tp.Sum(tp.Abs(tp.Sub(a, b)))
+}

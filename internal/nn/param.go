@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"deepod/internal/tensor"
+)
+
+// Param is a trainable tensor with an accumulated gradient and Adam moment
+// state. Params are created through a ParamSet so they can be enumerated by
+// optimizers and serialized deterministically.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	m, v *tensor.Tensor // Adam first/second moment estimates
+}
+
+// Size returns the number of scalar weights.
+func (p *Param) Size() int { return p.Value.Size() }
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// ParamSet owns all parameters of a model. Registration order is the
+// optimizer's iteration order.
+type ParamSet struct {
+	params []*Param
+	byName map[string]*Param
+}
+
+// NewParamSet returns an empty parameter set.
+func NewParamSet() *ParamSet {
+	return &ParamSet{byName: make(map[string]*Param)}
+}
+
+// New registers a zero-initialized parameter of the given shape.
+func (ps *ParamSet) New(name string, shape ...int) *Param {
+	if _, dup := ps.byName[name]; dup {
+		panic(fmt.Sprintf("nn: duplicate parameter name %q", name))
+	}
+	p := &Param{
+		Name:  name,
+		Value: tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+		m:     tensor.New(shape...),
+		v:     tensor.New(shape...),
+	}
+	ps.params = append(ps.params, p)
+	ps.byName[name] = p
+	return p
+}
+
+// NewNormal registers a parameter initialized from N(0, std²) — the paper
+// initializes all non-embedding parameters from a normal distribution
+// (Algorithm 1, line 5).
+func (ps *ParamSet) NewNormal(name string, rng *rand.Rand, std float64, shape ...int) *Param {
+	p := ps.New(name, shape...)
+	for i := range p.Value.Data {
+		p.Value.Data[i] = rng.NormFloat64() * std
+	}
+	return p
+}
+
+// NewXavier registers a matrix parameter with Glorot-uniform initialization
+// scaled by its fan-in/fan-out; used for weight matrices of linear layers
+// and LSTM gates.
+func (ps *ParamSet) NewXavier(name string, rng *rand.Rand, shape ...int) *Param {
+	p := ps.New(name, shape...)
+	fanIn, fanOut := shape[len(shape)-1], shape[0]
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range p.Value.Data {
+		p.Value.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return p
+}
+
+// Get returns the parameter registered under name, or nil.
+func (ps *ParamSet) Get(name string) *Param { return ps.byName[name] }
+
+// All returns the parameters in registration order.
+func (ps *ParamSet) All() []*Param { return ps.params }
+
+// ZeroGrad clears all gradients.
+func (ps *ParamSet) ZeroGrad() {
+	for _, p := range ps.params {
+		p.ZeroGrad()
+	}
+}
+
+// ScaleGrads multiplies all gradients by s (used to average accumulated
+// per-sample gradients over a mini-batch).
+func (ps *ParamSet) ScaleGrads(s float64) {
+	for _, p := range ps.params {
+		p.Grad.ScaleInPlace(s)
+	}
+}
+
+// NumWeights returns the total number of scalar weights.
+func (ps *ParamSet) NumWeights() int {
+	n := 0
+	for _, p := range ps.params {
+		n += p.Size()
+	}
+	return n
+}
+
+// SizeBytes returns the serialized model size in bytes (8 bytes per weight),
+// the quantity reported in the paper's Table 5.
+func (ps *ParamSet) SizeBytes() int { return ps.NumWeights() * 8 }
+
+// GradNorm returns the Euclidean norm of the concatenated gradient; useful
+// for tests and for diagnosing divergence.
+func (ps *ParamSet) GradNorm() float64 {
+	var s float64
+	for _, p := range ps.params {
+		for _, g := range p.Grad.Data {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Snapshot is a serializable copy of all parameter values, keyed by name.
+// It is the on-disk model format used by cmd/ttetrain (via encoding/gob).
+type Snapshot map[string][]float64
+
+// Save copies all parameter values into a Snapshot.
+func (ps *ParamSet) Save() Snapshot {
+	s := make(Snapshot, len(ps.params))
+	for _, p := range ps.params {
+		s[p.Name] = append([]float64(nil), p.Value.Data...)
+	}
+	return s
+}
+
+// Load restores parameter values from a Snapshot. Every registered
+// parameter must be present with a matching size.
+func (ps *ParamSet) Load(s Snapshot) error {
+	for _, p := range ps.params {
+		vals, ok := s[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot is missing parameter %q", p.Name)
+		}
+		if len(vals) != p.Size() {
+			return fmt.Errorf("nn: snapshot parameter %q has %d weights, model wants %d",
+				p.Name, len(vals), p.Size())
+		}
+		copy(p.Value.Data, vals)
+	}
+	return nil
+}
+
+// Names returns the sorted parameter names (for stable debugging output).
+func (ps *ParamSet) Names() []string {
+	names := make([]string, 0, len(ps.params))
+	for _, p := range ps.params {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}

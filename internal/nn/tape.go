@@ -1,0 +1,121 @@
+// Package nn is a minimal reverse-mode automatic-differentiation engine and
+// neural-network toolkit built on internal/tensor. It provides exactly the
+// building blocks the DeepOD model (SIGMOD 2020) is assembled from:
+// linear layers and two-layer MLPs, an LSTM, 2-D convolutions with
+// batch-normalization, embedding matrices with sparse gradients, and the
+// Adam optimizer with the paper's step-decay learning-rate schedule.
+//
+// Computation is recorded on a Tape: every operation appends a Node holding
+// its output value and a backward closure. Calling Tape.Backward on a scalar
+// node propagates gradients in reverse recording order. Model parameters are
+// Param values whose gradient tensors are shared with their leaf nodes, so
+// gradients accumulate across samples (mini-batch gradient accumulation)
+// until an optimizer step consumes and clears them.
+package nn
+
+import (
+	"fmt"
+
+	"deepod/internal/tensor"
+)
+
+// Node is one vertex of the recorded computation graph.
+type Node struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	requiresGrad bool
+	backward     func()
+}
+
+// RequiresGrad reports whether gradients flow through this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// Tape records operations for reverse-mode differentiation.
+//
+// A Tape is intended to live for one forward/backward pass over one sample;
+// allocate with NewTape, run the model, call Backward, then discard (or
+// Reset to reuse the backing slice).
+type Tape struct {
+	nodes []*Node
+	// Eval disables gradient recording: ops still compute values but
+	// backward closures are dropped. Used for inference and validation.
+	Eval bool
+}
+
+// NewTape returns an empty tape in training mode.
+func NewTape() *Tape { return &Tape{} }
+
+// NewEvalTape returns a tape that records no gradients.
+func NewEvalTape() *Tape { return &Tape{Eval: true} }
+
+// Reset clears the tape for reuse.
+func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+
+// Len returns the number of recorded nodes (0 in eval mode).
+func (tp *Tape) Len() int { return len(tp.nodes) }
+
+// Const wraps a tensor as a leaf with no gradient.
+func (tp *Tape) Const(t *tensor.Tensor) *Node {
+	return &Node{Value: t}
+}
+
+// Leaf wraps a parameter's value as a differentiable leaf whose gradient
+// tensor is the parameter's accumulator, so backward passes add into it.
+func (tp *Tape) Leaf(p *Param) *Node {
+	if tp.Eval {
+		return &Node{Value: p.Value}
+	}
+	return &Node{Value: p.Value, Grad: p.Grad, requiresGrad: true}
+}
+
+// node constructs an interior node. deps that require grad make the result
+// require grad; the backward closure is recorded only in training mode.
+func (tp *Tape) node(val *tensor.Tensor, back func(n *Node), deps ...*Node) *Node {
+	n := &Node{Value: val}
+	if tp.Eval {
+		return n
+	}
+	for _, d := range deps {
+		if d.requiresGrad {
+			n.requiresGrad = true
+			break
+		}
+	}
+	if !n.requiresGrad {
+		return n
+	}
+	n.Grad = tensor.New(val.Shape...)
+	n.backward = func() { back(n) }
+	tp.nodes = append(tp.nodes, n)
+	return n
+}
+
+// accumulate adds g into dep's gradient if dep participates in backprop.
+func accumulate(dep *Node, g *tensor.Tensor) {
+	if dep == nil || !dep.requiresGrad || dep.Grad == nil {
+		return
+	}
+	dep.Grad.AddInPlace(g)
+}
+
+// Backward seeds the gradient of root (which must be a scalar node) with 1
+// and propagates gradients through the tape in reverse order.
+func (tp *Tape) Backward(root *Node) {
+	if tp.Eval {
+		panic("nn: Backward called on an eval tape")
+	}
+	if root.Value.Size() != 1 {
+		panic(fmt.Sprintf("nn: Backward root must be scalar, got shape %v", root.Value.Shape))
+	}
+	if !root.requiresGrad {
+		return // loss does not depend on any parameter
+	}
+	root.Grad.Data[0] = 1
+	for i := len(tp.nodes) - 1; i >= 0; i-- {
+		n := tp.nodes[i]
+		if n.backward != nil {
+			n.backward()
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package plot renders small ASCII charts for the experiment harness: line
+// charts for the validation curves of Figure 10 and the PDFs of Figure 11,
+// sparklines for quick series, and shaded heatmaps for Figure 14b. Pure
+// text output keeps the harness dependency-free and diffable.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a one-line block chart. Empty input yields "".
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Series is one named line of a Lines chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Lines renders one or more series into a width×height character chart
+// with a labeled Y range. Each series is drawn with its own glyph
+// (first letter of its name).
+func Lines(series []Series, width, height int) string {
+	if width < 8 || height < 3 || len(series) == 0 {
+		return ""
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.Xs {
+			xlo, xhi = math.Min(xlo, s.Xs[i]), math.Max(xhi, s.Xs[i])
+			ylo, yhi = math.Min(ylo, s.Ys[i]), math.Max(yhi, s.Ys[i])
+		}
+	}
+	if xhi <= xlo {
+		xhi = xlo + 1
+	}
+	if yhi <= ylo {
+		yhi = ylo + 1
+	}
+	cells := make([][]rune, height)
+	for r := range cells {
+		cells[r] = make([]rune, width)
+		for c := range cells[r] {
+			cells[r][c] = ' '
+		}
+	}
+	for _, s := range series {
+		glyph := '*'
+		if s.Name != "" {
+			glyph = rune(s.Name[0])
+		}
+		for i := range s.Xs {
+			c := int((s.Xs[i] - xlo) / (xhi - xlo) * float64(width-1))
+			r := height - 1 - int((s.Ys[i]-ylo)/(yhi-ylo)*float64(height-1))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				cells[r][c] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	for r, row := range cells {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%8.1f |", yhi)
+		case height - 1:
+			fmt.Fprintf(&b, "%8.1f |", ylo)
+		default:
+			b.WriteString("         |")
+		}
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("         +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "          %-10.1f%*s\n", xlo, width-10, fmt.Sprintf("%.1f", xhi))
+	var legend []string
+	for _, s := range series {
+		if s.Name != "" {
+			legend = append(legend, fmt.Sprintf("%c=%s", s.Name[0], s.Name))
+		}
+	}
+	if len(legend) > 0 {
+		b.WriteString("          " + strings.Join(legend, "  ") + "\n")
+	}
+	return b.String()
+}
+
+// heatRunes shade from light to dark.
+var heatRunes = []rune(" .:-=+*#%@")
+
+// Heatmap renders a rows×cols value grid with row labels.
+func Heatmap(values [][]float64, rowLabels []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	var b strings.Builder
+	for r, row := range values {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(&b, "%-5s", label)
+		for _, v := range row {
+			idx := 0
+			if hi > lo {
+				idx = int((v - lo) / (hi - lo) * float64(len(heatRunes)-1))
+			}
+			b.WriteRune(heatRunes[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

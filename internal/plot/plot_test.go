@@ -1,0 +1,67 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should yield empty string")
+	}
+	// Constant series: all-minimum blocks, no panic.
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("flat sparkline %q", flat)
+	}
+}
+
+func TestLines(t *testing.T) {
+	out := Lines([]Series{
+		{Name: "alpha", Xs: []float64{0, 1, 2}, Ys: []float64{10, 20, 30}},
+		{Name: "beta", Xs: []float64{0, 1, 2}, Ys: []float64{30, 20, 10}},
+	}, 30, 8)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	if !strings.Contains(out, "a=alpha") || !strings.Contains(out, "b=beta") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "30.0") || !strings.Contains(out, "10.0") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	if !strings.ContainsRune(out, 'a') || !strings.ContainsRune(out, 'b') {
+		t.Fatalf("series glyphs missing:\n%s", out)
+	}
+	// Degenerate dimensions yield "".
+	if Lines(nil, 30, 8) != "" || Lines([]Series{{Xs: []float64{1}, Ys: []float64{1}}}, 2, 2) != "" {
+		t.Fatal("degenerate charts should be empty")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap([][]float64{{0, 1, 2}, {2, 1, 0}}, []string{"r0", "r1"})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("heatmap rows %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "r0") || !strings.HasPrefix(lines[1], "r1") {
+		t.Fatalf("row labels missing:\n%s", out)
+	}
+	// Max value renders darkest, min lightest.
+	r0 := []rune(lines[0])
+	if r0[len(r0)-1] != '@' {
+		t.Fatalf("max cell not darkest: %q", lines[0])
+	}
+	if Heatmap(nil, nil) != "" {
+		t.Fatal("empty heatmap should be empty string")
+	}
+}

@@ -1,0 +1,105 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deepod/internal/geo"
+)
+
+// EdgeIndex is a uniform-grid spatial index over road segments, used by the
+// map matcher to find candidate segments near a GPS point.
+type EdgeIndex struct {
+	g     *Graph
+	grid  *geo.Grid
+	cells [][]EdgeID
+}
+
+// NewEdgeIndex builds an index with the given cell size in meters.
+func NewEdgeIndex(g *Graph, cellSize float64) (*EdgeIndex, error) {
+	bounds := g.Bounds()
+	// Pad the bounds slightly so points just outside the network still land
+	// in a valid cell.
+	pad := cellSize
+	bounds.Min.X -= pad
+	bounds.Min.Y -= pad
+	bounds.Max.X += pad
+	bounds.Max.Y += pad
+	grid, err := geo.NewGrid(bounds, cellSize)
+	if err != nil {
+		return nil, fmt.Errorf("roadnet: building edge index: %w", err)
+	}
+	idx := &EdgeIndex{g: g, grid: grid, cells: make([][]EdgeID, grid.NumCells())}
+	for eid := range g.Edges {
+		a, b := g.EdgePoints(EdgeID(eid))
+		// Register the edge in every cell its sampled points fall into.
+		steps := int(math.Ceil(geo.Dist(a, b)/cellSize)) + 1
+		seen := make(map[int]bool, 4)
+		for s := 0; s <= steps; s++ {
+			p := geo.Lerp(a, b, float64(s)/float64(steps))
+			ci := grid.CellIndex(p)
+			if !seen[ci] {
+				seen[ci] = true
+				idx.cells[ci] = append(idx.cells[ci], EdgeID(eid))
+			}
+		}
+	}
+	return idx, nil
+}
+
+// Candidate is a road segment near a query point.
+type Candidate struct {
+	Edge EdgeID
+	// Frac is the fraction along the segment of the projected point.
+	Frac float64
+	// Dist is the distance from the query point to the projection, meters.
+	Dist float64
+	// Proj is the projected point on the segment.
+	Proj geo.Point
+}
+
+// Nearest returns up to k candidate segments ordered by distance, searching
+// outward ring by ring until candidates are found (or the grid is
+// exhausted).
+func (idx *EdgeIndex) Nearest(p geo.Point, k int) []Candidate {
+	if k <= 0 {
+		k = 1
+	}
+	maxRadius := idx.grid.Rows
+	if idx.grid.Cols > maxRadius {
+		maxRadius = idx.grid.Cols
+	}
+	seen := make(map[EdgeID]bool)
+	var cands []Candidate
+	for radius := 1; radius <= maxRadius; radius++ {
+		idx.grid.NeighborCells(p, radius, func(r, c int) {
+			for _, eid := range idx.cells[r*idx.grid.Cols+c] {
+				if seen[eid] {
+					continue
+				}
+				seen[eid] = true
+				a, b := idx.g.EdgePoints(eid)
+				proj, t, d := geo.ProjectOnSegment(p, a, b)
+				cands = append(cands, Candidate{Edge: eid, Frac: t, Dist: d, Proj: proj})
+			}
+		})
+		if len(cands) >= k {
+			break
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Dist < cands[j].Dist })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// NearestEdge returns the closest segment to p.
+func (idx *EdgeIndex) NearestEdge(p geo.Point) (Candidate, error) {
+	c := idx.Nearest(p, 1)
+	if len(c) == 0 {
+		return Candidate{}, fmt.Errorf("roadnet: no edge found near point %+v", p)
+	}
+	return c[0], nil
+}

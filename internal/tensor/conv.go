@@ -1,0 +1,100 @@
+package tensor
+
+import "fmt"
+
+// Conv2D computes a stride-configurable 2-D cross-correlation of x by k.
+//
+// x has shape [C, H, W]; k has shape [OC, C, KH, KW]. The input is
+// zero-padded by padH rows on top/bottom and padW columns on left/right.
+// The output has shape [OC, H', W'] with H' = (H+2*padH-KH)/strideH + 1 and
+// W' = (W+2*padW-KW)/strideW + 1.
+//
+// The DeepOD time-interval encoder uses 3×1 kernels with padH=1 (Formulas
+// 5–7 of the paper); the traffic-condition CNN uses 3×3 kernels with
+// stride 2.
+func Conv2D(x, k *Tensor, padH, padW, strideH, strideW int) *Tensor {
+	c, h, w := convCheck(x, k)
+	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
+	oh := (h+2*padH-kh)/strideH + 1
+	ow := (w+2*padW-kw)/strideW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D output would be empty (x %v, k %v, pad %d,%d stride %d,%d)",
+			x.Shape, k.Shape, padH, padW, strideH, strideW))
+	}
+	out := New(oc, oh, ow)
+	for o := 0; o < oc; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float64
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*strideH + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*strideW + kx - padW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += x.Data[(ci*h+iy)*w+ix] * k.Data[((o*c+ci)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out.Data[(o*oh+oy)*ow+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackward returns the gradients of a Conv2D call with respect to its
+// input and kernel, given the gradient of the loss with respect to the
+// output. Shapes must match the corresponding forward call.
+func Conv2DBackward(x, k, gradOut *Tensor, padH, padW, strideH, strideW int) (gradX, gradK *Tensor) {
+	c, h, w := convCheck(x, k)
+	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
+	oh, ow := gradOut.Shape[1], gradOut.Shape[2]
+	gradX = New(c, h, w)
+	gradK = New(oc, c, kh, kw)
+	for o := 0; o < oc; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := gradOut.Data[(o*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*strideH + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*strideW + kx - padW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							gradX.Data[(ci*h+iy)*w+ix] += g * k.Data[((o*c+ci)*kh+ky)*kw+kx]
+							gradK.Data[((o*c+ci)*kh+ky)*kw+kx] += g * x.Data[(ci*h+iy)*w+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradX, gradK
+}
+
+func convCheck(x, k *Tensor) (c, h, w int) {
+	if x.Dims() != 3 {
+		panic(fmt.Sprintf("tensor: Conv2D input must be [C,H,W], got %v", x.Shape))
+	}
+	if k.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D kernel must be [OC,C,KH,KW], got %v", k.Shape))
+	}
+	if k.Shape[1] != x.Shape[0] {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch: input %v kernel %v", x.Shape, k.Shape))
+	}
+	return x.Shape[0], x.Shape[1], x.Shape[2]
+}

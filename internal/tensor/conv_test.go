@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 1, 2, 3)
+	k := FromSlice([]float64{1}, 1, 1, 1, 1) // 1x1 identity
+	y := Conv2D(x, k, 0, 0, 1, 1)
+	if !y.SameShape(x) {
+		t.Fatalf("identity conv changed shape: %v", y.Shape)
+	}
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatalf("identity conv changed value at %d", i)
+		}
+	}
+}
+
+func TestConv2DSamePadding3x1(t *testing.T) {
+	// The DeepOD time-interval encoder uses 3x1 kernels with padH=1 so the
+	// Δd dimension is preserved (Formulas 5-6).
+	x := New(1, 5, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	k := New(4, 1, 3, 1)
+	for i := range k.Data {
+		k.Data[i] = 0.5
+	}
+	y := Conv2D(x, k, 1, 0, 1, 1)
+	if y.Shape[0] != 4 || y.Shape[1] != 5 || y.Shape[2] != 4 {
+		t.Fatalf("same-pad conv shape %v, want [4 5 4]", y.Shape)
+	}
+	// Interior element (1, 2, 1): sum of x[0,1,1], x[0,2,1], x[0,3,1] times 0.5.
+	want := (x.At(0, 1, 1) + x.At(0, 2, 1) + x.At(0, 3, 1)) * 0.5
+	if got := y.At(1, 2, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("conv value %v, want %v", got, want)
+	}
+	// Top edge (any oc, 0, 1): padding row contributes zero.
+	wantEdge := (x.At(0, 0, 1) + x.At(0, 1, 1)) * 0.5
+	if got := y.At(0, 0, 1); math.Abs(got-wantEdge) > 1e-12 {
+		t.Fatalf("edge conv value %v, want %v", got, wantEdge)
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	x := New(1, 8, 8)
+	k := New(2, 1, 3, 3)
+	y := Conv2D(x, k, 1, 1, 2, 2)
+	if y.Shape[0] != 2 || y.Shape[1] != 4 || y.Shape[2] != 4 {
+		t.Fatalf("strided conv shape %v, want [2 4 4]", y.Shape)
+	}
+}
+
+func TestConv2DPanicsOnChannelMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("channel mismatch did not panic")
+		}
+	}()
+	Conv2D(New(2, 3, 3), New(1, 3, 1, 1), 0, 0, 1, 1)
+}
+
+// TestConv2DBackwardFiniteDiff checks both returned gradients against
+// central finite differences of a random scalar objective.
+func TestConv2DBackwardFiniteDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(2, 4, 3)
+	k := New(3, 2, 3, 1)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range k.Data {
+		k.Data[i] = rng.NormFloat64()
+	}
+	padH, padW, sH, sW := 1, 0, 1, 1
+	// objective: weighted sum of the conv output
+	w := Conv2D(x, k, padH, padW, sH, sW)
+	weights := New(w.Shape...)
+	for i := range weights.Data {
+		weights.Data[i] = rng.NormFloat64()
+	}
+	obj := func() float64 {
+		y := Conv2D(x, k, padH, padW, sH, sW)
+		return Dot(y, weights)
+	}
+	gx, gk := Conv2DBackward(x, k, weights, padH, padW, sH, sW)
+
+	const h = 1e-6
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		plus := obj()
+		x.Data[i] = orig - h
+		minus := obj()
+		x.Data[i] = orig
+		fd := (plus - minus) / (2 * h)
+		if math.Abs(fd-gx.Data[i]) > 1e-5 {
+			t.Fatalf("gradX[%d] = %v, finite diff %v", i, gx.Data[i], fd)
+		}
+	}
+	for i := range k.Data {
+		orig := k.Data[i]
+		k.Data[i] = orig + h
+		plus := obj()
+		k.Data[i] = orig - h
+		minus := obj()
+		k.Data[i] = orig
+		fd := (plus - minus) / (2 * h)
+		if math.Abs(fd-gk.Data[i]) > 1e-5 {
+			t.Fatalf("gradK[%d] = %v, finite diff %v", i, gk.Data[i], fd)
+		}
+	}
+}

@@ -1,0 +1,430 @@
+// Package tensor implements dense float64 tensors and the linear-algebra
+// kernels the neural-network substrate is built on. Tensors are row-major;
+// a matrix of shape [r, c] stores element (i, j) at Data[i*c+j].
+//
+// The package is deliberately small: it contains exactly the operations the
+// DeepOD model (SIGMOD 2020) needs — matrix products, broadcast adds,
+// element-wise maps, reductions, concatenation, and the 2-D convolution
+// kernels used by the time-interval ResNet encoder and the traffic-condition
+// CNN. Shape errors are programming errors and panic with explicit messages.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if t.Size() != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, got %d", shape, t.Size(), len(data)))
+	}
+	return t
+}
+
+// Vector returns a 1-D tensor copying vals.
+func Vector(vals ...float64) *Tensor {
+	return FromSlice(append([]float64(nil), vals...), len(vals))
+}
+
+// Scalar returns a 1-element tensor holding v.
+func Scalar(v float64) *Tensor { return FromSlice([]float64{v}, 1) }
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Dims returns the number of axes.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape sharing the same data.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	v := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	if v.Size() != t.Size() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return v
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// AddInPlace accumulates o into t element-wise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Add returns t + o element-wise.
+func Add(a, b *Tensor) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Tensor) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product.
+func Mul(a, b *Tensor) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = s * a.Data[i]
+	}
+	return out
+}
+
+// Map applies f element-wise and returns a new tensor.
+func Map(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.Shape...)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product W x for W of shape [m, n] and x
+// of shape [n] (or [n, 1]); the result has shape [m].
+func MatVec(w, x *Tensor) *Tensor {
+	if w.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatVec wants a matrix, got shape %v", w.Shape))
+	}
+	m, n := w.Shape[0], w.Shape[1]
+	if x.Size() != n {
+		panic(fmt.Sprintf("tensor: MatVec size mismatch: W is %v, x has %d elements", w.Shape, x.Size()))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := w.Data[i*n : (i+1)*n]
+		var s float64
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// MatVecT returns Wᵀ y for W of shape [m, n] and y of size m; result [n].
+func MatVecT(w, y *Tensor) *Tensor {
+	if w.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatVecT wants a matrix, got shape %v", w.Shape))
+	}
+	m, n := w.Shape[0], w.Shape[1]
+	if y.Size() != m {
+		panic(fmt.Sprintf("tensor: MatVecT size mismatch: W is %v, y has %d elements", w.Shape, y.Size()))
+	}
+	out := New(n)
+	for i := 0; i < m; i++ {
+		row := w.Data[i*n : (i+1)*n]
+		yi := y.Data[i]
+		if yi == 0 {
+			continue
+		}
+		for j, v := range row {
+			out.Data[j] += v * yi
+		}
+	}
+	return out
+}
+
+// AddOuterInPlace accumulates the outer product y xᵀ into dst (shape
+// [len(y), len(x)]) without allocating — the gradient-accumulation fast
+// path of the MatVec backward.
+func AddOuterInPlace(dst, y, x *Tensor) {
+	m, n := y.Size(), x.Size()
+	if dst.Dims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: AddOuterInPlace shape mismatch dst %v y %d x %d", dst.Shape, m, n))
+	}
+	for i := 0; i < m; i++ {
+		yi := y.Data[i]
+		if yi == 0 {
+			continue
+		}
+		row := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] += yi * x.Data[j]
+		}
+	}
+}
+
+// AddMatVecTInPlace accumulates Wᵀ y into dst (length = W columns) without
+// allocating.
+func AddMatVecTInPlace(dst, w, y *Tensor) {
+	m, n := w.Shape[0], w.Shape[1]
+	if dst.Size() != n || y.Size() != m {
+		panic(fmt.Sprintf("tensor: AddMatVecTInPlace size mismatch dst %d W %v y %d", dst.Size(), w.Shape, y.Size()))
+	}
+	for i := 0; i < m; i++ {
+		yi := y.Data[i]
+		if yi == 0 {
+			continue
+		}
+		row := w.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			dst.Data[j] += yi * row[j]
+		}
+	}
+}
+
+// Outer returns the outer product y xᵀ with shape [len(y), len(x)].
+func Outer(y, x *Tensor) *Tensor {
+	m, n := y.Size(), x.Size()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		yi := y.Data[i]
+		row := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = yi * x.Data[j]
+		}
+	}
+	return out
+}
+
+// MatMul returns A B for A [m, k] and B [k, n].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the matrix transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose wants a matrix, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Concat concatenates 1-D tensors into one vector.
+func Concat(parts ...*Tensor) *Tensor {
+	n := 0
+	for _, p := range parts {
+		n += p.Size()
+	}
+	out := New(n)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off:], p.Data)
+		off += p.Size()
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(t.Size()) }
+
+// Dot returns the inner product of two equal-size tensors.
+func Dot(a, b *Tensor) float64 {
+	if a.Size() != b.Size() {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", a.Size(), b.Size()))
+	}
+	var s float64
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func (t *Tensor) Norm2() float64 { return math.Sqrt(Dot(t, t)) }
+
+// MeanCols averages a [r, c] matrix over rows, returning a length-c vector.
+// This is the paper's average-pooling step (Formula 10).
+func MeanCols(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MeanCols wants a matrix, got %v", a.Shape))
+	}
+	r, c := a.Shape[0], a.Shape[1]
+	out := New(c)
+	for i := 0; i < r; i++ {
+		row := a.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	inv := 1.0 / float64(r)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	return out
+}
+
+// Row returns row i of a matrix as a copied vector.
+func (t *Tensor) Row(i int) *Tensor {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Row wants a matrix, got %v", t.Shape))
+	}
+	c := t.Shape[1]
+	out := New(c)
+	copy(out.Data, t.Data[i*c:(i+1)*c])
+	return out
+}
+
+// SetRow copies v into row i of a matrix.
+func (t *Tensor) SetRow(i int, v *Tensor) {
+	if t.Dims() != 2 || v.Size() != t.Shape[1] {
+		panic(fmt.Sprintf("tensor: SetRow shape mismatch %v row %v", t.Shape, v.Shape))
+	}
+	copy(t.Data[i*t.Shape[1]:(i+1)*t.Shape[1]], v.Data)
+}
+
+// ArgMax returns the index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	if t.Size() <= 16 {
+		return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)
+	}
+	return fmt.Sprintf("Tensor%v[%d elements]", t.Shape, t.Size())
+}

@@ -1,0 +1,208 @@
+// Package tsne implements exact-gradient t-SNE (van der Maaten & Hinton,
+// 2008) for small point sets. The paper uses t-SNE to project the learned
+// time-slot embeddings to one dimension for the heatmap of Figure 14b; with
+// at most a few thousand slots, the exact O(n²) gradient is affordable.
+package tsne
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config tunes the optimization.
+type Config struct {
+	// OutDims is the target dimensionality (1 for the paper's heatmap).
+	OutDims int
+	// Perplexity controls the effective neighborhood size.
+	Perplexity float64
+	// Iters is the number of gradient iterations.
+	Iters int
+	// LearningRate scales the gradient step.
+	LearningRate float64
+	// Seed drives the random initialization.
+	Seed int64
+}
+
+// DefaultConfig returns settings adequate for embedding a week of time
+// slots.
+func DefaultConfig(outDims int) Config {
+	return Config{OutDims: outDims, Perplexity: 30, Iters: 300, LearningRate: 100, Seed: 1}
+}
+
+// Embed projects n points (rows of x, each of dimension d) to OutDims
+// dimensions. It returns an n×OutDims row-major matrix.
+func Embed(x [][]float64, cfg Config) ([][]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("tsne: no input points")
+	}
+	if cfg.OutDims <= 0 || cfg.Iters <= 0 || cfg.Perplexity <= 1 {
+		return nil, fmt.Errorf("tsne: invalid config %+v", cfg)
+	}
+	if float64(n) <= cfg.Perplexity {
+		cfg.Perplexity = float64(n) / 3
+		if cfg.Perplexity <= 1 {
+			cfg.Perplexity = 2
+		}
+	}
+	d := len(x[0])
+	for i := range x {
+		if len(x[i]) != d {
+			return nil, fmt.Errorf("tsne: ragged input at row %d", i)
+		}
+	}
+
+	p := condProbabilities(x, cfg.Perplexity)
+	// Symmetrize and normalize.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			p[i][j], p[j][i] = v, v
+		}
+		p[i][i] = 1e-12
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	y := make([][]float64, n)
+	vel := make([][]float64, n)
+	for i := range y {
+		y[i] = make([]float64, cfg.OutDims)
+		vel[i] = make([]float64, cfg.OutDims)
+		for k := range y[i] {
+			y[i][k] = rng.NormFloat64() * 1e-2
+		}
+	}
+
+	num := make([][]float64, n)
+	for i := range num {
+		num[i] = make([]float64, n)
+	}
+	grad := make([]float64, cfg.OutDims)
+	for iter := 0; iter < cfg.Iters; iter++ {
+		// Early exaggeration for the first quarter of the run.
+		exag := 1.0
+		if iter < cfg.Iters/4 {
+			exag = 4
+		}
+		momentum := 0.5
+		if iter >= 20 {
+			momentum = 0.8
+		}
+		// Student-t numerators and normalizer.
+		var z float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				var d2 float64
+				for k := 0; k < cfg.OutDims; k++ {
+					df := y[i][k] - y[j][k]
+					d2 += df * df
+				}
+				q := 1 / (1 + d2)
+				num[i][j], num[j][i] = q, q
+				z += 2 * q
+			}
+		}
+		if z < 1e-12 {
+			z = 1e-12
+		}
+		for i := 0; i < n; i++ {
+			for k := range grad {
+				grad[k] = 0
+			}
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				q := num[i][j] / z
+				mult := (exag*p[i][j] - q) * num[i][j]
+				for k := 0; k < cfg.OutDims; k++ {
+					grad[k] += 4 * mult * (y[i][k] - y[j][k])
+				}
+			}
+			for k := 0; k < cfg.OutDims; k++ {
+				vel[i][k] = momentum*vel[i][k] - cfg.LearningRate*grad[k]
+				y[i][k] += vel[i][k]
+			}
+		}
+	}
+	return y, nil
+}
+
+// condProbabilities computes the conditional Gaussian probabilities p_{j|i}
+// with per-point bandwidths found by binary search on the perplexity.
+func condProbabilities(x [][]float64, perplexity float64) [][]float64 {
+	n := len(x)
+	logU := math.Log(perplexity)
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := range d2[i] {
+			var s float64
+			for k := range x[i] {
+				df := x[i][k] - x[j][k]
+				s += df * df
+			}
+			d2[i][j] = s
+		}
+	}
+	p := make([][]float64, n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for iter := 0; iter < 50; iter++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				row[j] = math.Exp(-d2[i][j] * beta)
+				sum += row[j]
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			// Shannon entropy of the row distribution.
+			var h float64
+			for j := 0; j < n; j++ {
+				if j == i || row[j] <= 0 {
+					continue
+				}
+				pj := row[j] / sum
+				h -= pj * math.Log(pj)
+			}
+			if math.Abs(h-logU) < 1e-4 {
+				break
+			}
+			if h > logU {
+				lo = beta
+				if hi == 1e20 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+			_ = lo
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += row[j]
+		}
+		if sum < 1e-300 {
+			sum = 1e-300
+		}
+		for j := 0; j < n; j++ {
+			p[i][j] = row[j] / sum
+		}
+	}
+	return p
+}

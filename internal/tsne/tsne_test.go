@@ -1,0 +1,105 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	// Two well-separated Gaussian blobs in 5-D must stay separated in 1-D.
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	for i := 0; i < 30; i++ {
+		p := make([]float64, 5)
+		for k := range p {
+			p[k] = rng.NormFloat64() * 0.1
+		}
+		if i >= 15 {
+			p[0] += 10
+		}
+		x = append(x, p)
+	}
+	cfg := DefaultConfig(1)
+	cfg.Iters = 200
+	y, err := Embed(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 30 || len(y[0]) != 1 {
+		t.Fatalf("output shape %dx%d", len(y), len(y[0]))
+	}
+	var meanA, meanB float64
+	for i := 0; i < 15; i++ {
+		meanA += y[i][0]
+		meanB += y[i+15][0]
+	}
+	meanA /= 15
+	meanB /= 15
+	var spreadA float64
+	for i := 0; i < 15; i++ {
+		spreadA += math.Abs(y[i][0] - meanA)
+	}
+	spreadA /= 15
+	if math.Abs(meanA-meanB) < 3*spreadA {
+		t.Fatalf("clusters not separated: means %.2f vs %.2f, spread %.2f", meanA, meanB, spreadA)
+	}
+}
+
+func TestEmbedPreservesRingOrderLocally(t *testing.T) {
+	// Points on a circle: 1-D t-SNE cannot keep the ring, but neighbors
+	// should stay closer than antipodes on average.
+	var x [][]float64
+	n := 24
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		x = append(x, []float64{math.Cos(a), math.Sin(a)})
+	}
+	cfg := DefaultConfig(1)
+	cfg.Perplexity = 4
+	cfg.Iters = 150
+	y, err := Embed(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var near, far float64
+	for i := 0; i < n; i++ {
+		near += math.Abs(y[i][0] - y[(i+1)%n][0])
+		far += math.Abs(y[i][0] - y[(i+n/2)%n][0])
+	}
+	if near >= far {
+		t.Fatalf("local structure lost: near %.2f >= far %.2f", near, far)
+	}
+}
+
+func TestEmbedValidation(t *testing.T) {
+	if _, err := Embed(nil, DefaultConfig(1)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	bad := DefaultConfig(0)
+	if _, err := Embed([][]float64{{1}}, bad); err == nil {
+		t.Fatal("zero output dims accepted")
+	}
+	if _, err := Embed([][]float64{{1, 2}, {3}}, DefaultConfig(1)); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	x := [][]float64{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {6, 5}, {5, 6}}
+	cfg := DefaultConfig(1)
+	cfg.Iters = 50
+	a, err := Embed(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] {
+			t.Fatal("t-SNE not deterministic with a fixed seed")
+		}
+	}
+}
