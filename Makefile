@@ -1,0 +1,18 @@
+# Convenience targets; `make check` is the PR gate (see scripts/check.sh).
+
+.PHONY: build test check race fmt
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	./scripts/check.sh
+
+race:
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/...
+
+fmt:
+	gofmt -w .

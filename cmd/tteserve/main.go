@@ -10,79 +10,30 @@
 //	→ {"travel_seconds":412.7,"travel_human":"6m52s"}
 //
 //	GET /healthz → {"status":"ok", ...}
+//	GET /metrics → Prometheus text exposition (see README "Observability")
+//
+// Errors are JSON: {"error": "..."}. With -debug-addr, net/http/pprof is
+// served on a separate mux so profiling is never exposed on the public
+// listener. SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"deepod"
 	"deepod/internal/core"
-	"deepod/internal/mapmatch"
+	"deepod/internal/obs"
+	"deepod/internal/serve"
+	"deepod/internal/traj"
 )
-
-type server struct {
-	city    *deepod.City
-	model   *core.Model
-	matcher *mapmatch.Matcher
-}
-
-type estimateRequest struct {
-	Origin    deepod.Point `json:"origin"`
-	Dest      deepod.Point `json:"dest"`
-	DepartSec float64      `json:"depart_sec"`
-}
-
-type estimateResponse struct {
-	TravelSeconds float64 `json:"travel_seconds"`
-	TravelHuman   string  `json:"travel_human"`
-}
-
-func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req estimateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
-		return
-	}
-	if req.DepartSec < 0 {
-		http.Error(w, "depart_sec must be non-negative", http.StatusBadRequest)
-		return
-	}
-	od := deepod.ODInput{
-		Origin: req.Origin, Dest: req.Dest, DepartSec: req.DepartSec,
-		External: s.city.Grid.External(req.DepartSec),
-	}
-	matched, err := deepod.MatchOD(s.matcher, od)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("map matching failed: %v", err), http.StatusUnprocessableEntity)
-		return
-	}
-	sec := s.model.Estimate(&matched)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(estimateResponse{
-		TravelSeconds: sec,
-		TravelHuman:   time.Duration(sec * float64(time.Second)).Round(time.Second).String(),
-	})
-}
-
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]interface{}{
-		"status":  "ok",
-		"city":    s.city.Name,
-		"edges":   s.city.Graph.NumEdges(),
-		"weights": s.model.NumWeights(),
-	})
-}
 
 func main() {
 	log.SetFlags(0)
@@ -93,6 +44,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		modelPath = flag.String("model", "", "model saved by ttetrain (empty = train at startup)")
 		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum /estimate body bytes")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
+		logReq    = flag.Bool("log-requests", true, "log one line per request")
+		logSpans  = flag.Bool("log-spans", false, "log every pipeline span (verbose)")
 	)
 	flag.Parse()
 
@@ -124,10 +80,59 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{city: c, model: m, matcher: matcher}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/estimate", s.handleEstimate)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	log.Printf("serving %s on %s", *city, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	if *logSpans {
+		obs.SetSpanLogger(func(name, parent string, d time.Duration) {
+			if parent != "" {
+				name = parent + ">" + name
+			}
+			log.Printf("span %s %s", name, d.Round(time.Microsecond))
+		})
+	}
+	var logf obs.Logf
+	if *logReq {
+		logf = log.Printf
+	}
+	srv, err := serve.New(serve.Config{
+		City: c.Name,
+		Match: func(od traj.ODInput) (traj.MatchedOD, error) {
+			return deepod.MatchOD(matcher, od)
+		},
+		Estimate: m.Estimate,
+		External: c.Grid.External,
+		Health: map[string]any{
+			"edges":   c.Graph.NumEdges(),
+			"weights": m.NumWeights(),
+		},
+		MaxBodyBytes: *maxBody,
+		Logf:         logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			dmux := http.NewServeMux()
+			dmux.HandleFunc("/debug/pprof/", pprof.Index)
+			dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+			log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hsrv := serve.NewHTTPServer(*addr, srv.Handler())
+	log.Printf("serving %s on %s (metrics at /metrics)", *city, *addr)
+	if err := serve.ListenAndServe(ctx, hsrv, *grace, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("bye")
 }

@@ -17,6 +17,7 @@ import (
 
 	"deepod"
 	"deepod/internal/core"
+	"deepod/internal/obs"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 		}
 		fmt.Printf("trained in %v (%d steps, converged at step %d)\n",
 			stats.Elapsed.Round(time.Millisecond), stats.Steps, stats.ConvergedStep)
+		printPhaseBreakdown()
 		if *save != "" {
 			f, err := os.Create(*save)
 			if err != nil {
@@ -93,6 +95,42 @@ func main() {
 	mae, mape, mare := deepod.Evaluate(est, c.Split.Test)
 	fmt.Printf("%s test errors: MAE=%.2fs MAPE=%.2f%% MARE=%.2f%%\n",
 		*method, mae, mape*100, mare*100)
+}
+
+// printPhaseBreakdown reads the obs registry the training loop recorded
+// into and prints where offline time went — the Table 5 offline-cost
+// story, split by phase. The same numbers are scraped from tteserve's
+// /metrics after a startup-train.
+func printPhaseBreakdown() {
+	type row struct {
+		name  string
+		sum   float64
+		count uint64
+	}
+	var rows []row
+	for _, s := range obs.Default().Snapshot() {
+		switch s.Name {
+		case "tte_train_phase_seconds":
+			if s.Count > 0 {
+				rows = append(rows, row{"train/" + s.Label("phase"), s.Sum, s.Count})
+			}
+		case obs.SpanFamily:
+			span := s.Label("span")
+			if s.Count > 0 && (span == "encode" || span == "estimate" || span == "mapmatch.point") {
+				rows = append(rows, row{"online/" + span, s.Sum, s.Count})
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Println("offline cost breakdown:")
+	for _, r := range rows {
+		avg := time.Duration(r.sum / float64(r.count) * float64(time.Second))
+		fmt.Printf("  %-22s total %9s  over %7d obs  avg %9s\n",
+			r.name, time.Duration(r.sum*float64(time.Second)).Round(time.Millisecond),
+			r.count, avg.Round(time.Microsecond))
+	}
 }
 
 // modelEstimator adapts *core.Model to the Estimator interface.

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"deepod/internal/obs"
+)
+
+// Training and estimation metrics (see the obs package doc for the full
+// naming scheme). Resolved once at init so the hot loops touch only
+// atomics: Train observes per-step phase durations, Estimate observes the
+// online pipeline's encode/estimate stages.
+var (
+	embedPhaseHist    = obs.Default().Histogram("tte_train_phase_seconds", obs.DefBuckets, "phase", "embed_pretrain")
+	forwardPhaseHist  = obs.Default().Histogram("tte_train_phase_seconds", obs.DefBuckets, "phase", "forward")
+	backwardPhaseHist = obs.Default().Histogram("tte_train_phase_seconds", obs.DefBuckets, "phase", "backward")
+	evalPhaseHist     = obs.Default().Histogram("tte_train_phase_seconds", obs.DefBuckets, "phase", "eval")
+	trainEpochGauge   = obs.Default().Gauge("tte_train_epoch")
+	trainSamplesTotal = obs.Default().Counter("tte_train_samples_total")
+	encodeStageHist   = obs.Default().Histogram(obs.SpanFamily, obs.DefBuckets, "span", "encode")
+	estimateStageHist = obs.Default().Histogram(obs.SpanFamily, obs.DefBuckets, "span", "estimate")
+)
+
+func init() {
+	r := obs.Default()
+	r.Help("tte_train_phase_seconds", "Offline training phase durations: embed_pretrain (once), forward/backward (per optimizer step), eval (per validation pass).")
+	r.Help("tte_train_epoch", "Current training epoch (last value wins across runs).")
+	r.Help("tte_train_samples_total", "Cumulative training samples consumed by optimizer steps.")
+	r.Help(obs.SpanFamily, "Pipeline stage durations: decode, match, encode, estimate and mapmatch.* sub-stages.")
+}

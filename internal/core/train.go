@@ -81,6 +81,7 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 		return nil, err
 	}
 	stats.EmbedElapsed = time.Since(embStart)
+	embedPhaseHist.Observe(stats.EmbedElapsed.Seconds())
 
 	opt := nn.NewAdam(m.cfg.LRInitial)
 	schedule := nn.StepDecaySchedule{Initial: m.cfg.LRInitial, Factor: m.cfg.LRFactor, Every: m.cfg.LREvery}
@@ -90,6 +91,7 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 	w := m.cfg.AuxWeight
 
 	evaluate := func() float64 {
+		evalStart := time.Now()
 		n := len(valid)
 		if opts.ValSample > 0 && opts.ValSample < n {
 			n = opts.ValSample
@@ -100,6 +102,7 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 			actual[i] = valid[i].TravelSec
 			pred[i] = m.Estimate(&valid[i].Matched)
 		}
+		evalPhaseHist.Observe(time.Since(evalStart).Seconds())
 		return metrics.MAE(actual, pred)
 	}
 
@@ -107,13 +110,16 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 	done := false
 	for epoch := 0; epoch < m.cfg.Epochs && !done; epoch++ {
 		opt.LR = schedule.At(epoch)
+		trainEpochGauge.Set(float64(epoch))
 		err := dataset.Batches(len(train), m.cfg.BatchSize, rng, true, func(batch []int) error {
 			if done {
 				return nil
 			}
 			m.ps.ZeroGrad()
+			var fwd, bwd time.Duration
 			for _, bi := range batch {
 				rec := &train[bi]
+				phaseStart := time.Now()
 				tp := nn.NewTape()
 				code := m.encodeOD(tp, &rec.Matched)
 				yhat := m.estMLP.Forward(tp, code) // Formula 20
@@ -141,8 +147,16 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 				} else {
 					loss = main
 				}
+				backStart := time.Now()
+				fwd += backStart.Sub(phaseStart)
 				tp.Backward(loss)
+				bwd += time.Since(backStart)
 			}
+			// One observation per optimizer step: the batch's total forward
+			// (tape build + loss) and backward (gradient) time.
+			forwardPhaseHist.Observe(fwd.Seconds())
+			backwardPhaseHist.Observe(bwd.Seconds())
+			trainSamplesTotal.Add(uint64(len(batch)))
 			m.ps.ScaleGrads(1 / float64(len(batch)))
 			if m.cfg.ClipNorm > 0 {
 				nn.ClipGradNorm(m.ps, m.cfg.ClipNorm)
@@ -268,10 +282,15 @@ func (m *Model) runEmbed(g embed.Graph, dim int, rng *rand.Rand) (*tensor.Tensor
 
 // Estimate runs the online estimation of Algorithm 1: encode the OD input
 // with M_O and decode the travel time with M_E. The result is in seconds.
+// The two stages record into tte_span_seconds{span="encode"|"estimate"}.
 func (m *Model) Estimate(od *traj.MatchedOD) float64 {
+	start := time.Now()
 	tp := nn.NewEvalTape()
 	code := m.encodeOD(tp, od)
+	mid := time.Now()
+	encodeStageHist.Observe(mid.Sub(start).Seconds())
 	y := m.estMLP.Forward(tp, code)
+	estimateStageHist.Observe(time.Since(mid).Seconds())
 	sec := y.Value.Data[0] * m.timeScale
 	if sec < 0 {
 		sec = 0

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"deepod/internal/geo"
+	"deepod/internal/obs"
 	"deepod/internal/roadnet"
 	"deepod/internal/traj"
 )
@@ -67,6 +68,7 @@ func New(g *roadnet.Graph, cfg Config) (*Matcher, error) {
 // MatchPoint snaps a single point (an OD endpoint) to its best road
 // segment, returning the segment and the fraction along it.
 func (m *Matcher) MatchPoint(p geo.Point) (roadnet.EdgeID, float64, error) {
+	defer obs.Time("mapmatch.point")()
 	c, err := m.idx.NearestEdge(p)
 	if err != nil {
 		return 0, 0, err
@@ -77,6 +79,7 @@ func (m *Matcher) MatchPoint(p geo.Point) (roadnet.EdgeID, float64, error) {
 // Match aligns a raw trajectory to the network and returns the paper's
 // trajectory representation (spatio-temporal path + position ratios).
 func (m *Matcher) Match(raw *traj.Raw) (traj.Trajectory, error) {
+	defer obs.Time("mapmatch.match")()
 	if err := raw.Validate(); err != nil {
 		return traj.Trajectory{}, err
 	}
@@ -99,6 +102,7 @@ type candState struct {
 
 // viterbi returns one candidate per GPS point.
 func (m *Matcher) viterbi(pts []traj.GPSPoint) ([]roadnet.Candidate, error) {
+	defer obs.Time("mapmatch.viterbi")()
 	sigma2 := 2 * m.cfg.SigmaMeters * m.cfg.SigmaMeters
 	prevStates := []candState{}
 	allStates := make([][]candState, len(pts))
@@ -191,6 +195,7 @@ func (m *Matcher) routeBetween(a, b roadnet.Candidate) ([]roadnet.EdgeID, float6
 // assemble stitches the chosen candidates into a connected edge sequence
 // with linearly interpolated per-segment time intervals.
 func (m *Matcher) assemble(pts []traj.GPSPoint, chosen []roadnet.Candidate) (traj.Trajectory, error) {
+	defer obs.Time("mapmatch.assemble")()
 	// Build the full edge sequence with, for each edge, the (time, frac)
 	// anchor points we know from GPS samples.
 	type anchor struct {

@@ -21,21 +21,36 @@ func MAE(actual, predicted []float64) float64 {
 }
 
 // MAPE is the Mean Absolute Percent Error (1/N) Σ |yᵢ − ŷᵢ| / yᵢ, returned
-// as a fraction (multiply by 100 for percent).
+// as a fraction (multiply by 100 for percent). Samples with a zero actual
+// value — a degenerate simulated trip — are skipped rather than killing
+// the run; MAPE returns NaN when every sample is skipped. Use MAPESkip to
+// also learn how many samples were dropped.
 func MAPE(actual, predicted []float64) float64 {
+	v, _ := MAPESkip(actual, predicted)
+	return v
+}
+
+// MAPESkip is MAPE plus the count of zero-actual samples it skipped.
+func MAPESkip(actual, predicted []float64) (mape float64, skipped int) {
 	mustSameLen(actual, predicted)
 	var s float64
 	for i := range actual {
 		if actual[i] == 0 {
-			panic("metrics: MAPE undefined for zero actual value")
+			skipped++
+			continue
 		}
 		s += math.Abs(actual[i]-predicted[i]) / math.Abs(actual[i])
 	}
-	return s / float64(len(actual))
+	n := len(actual) - skipped
+	if n == 0 {
+		return math.NaN(), skipped
+	}
+	return s / float64(n), skipped
 }
 
 // MARE is the Mean Absolute Relative Error Σ|yᵢ − ŷᵢ| / Σ|yᵢ|, as a
-// fraction.
+// fraction. It returns NaN when all actual values are zero (the ratio is
+// undefined) instead of panicking.
 func MARE(actual, predicted []float64) float64 {
 	mustSameLen(actual, predicted)
 	var num, den float64
@@ -44,7 +59,7 @@ func MARE(actual, predicted []float64) float64 {
 		den += math.Abs(actual[i])
 	}
 	if den == 0 {
-		panic("metrics: MARE undefined when all actual values are zero")
+		return math.NaN()
 	}
 	return num / den
 }

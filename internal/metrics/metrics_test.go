@@ -27,8 +27,6 @@ func TestMetricsPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"len mismatch": func() { MAE([]float64{1}, []float64{1, 2}) },
 		"empty":        func() { MAPE(nil, nil) },
-		"zero actual":  func() { MAPE([]float64{0}, []float64{1}) },
-		"all zero":     func() { MARE([]float64{0, 0}, []float64{0, 0}) },
 	} {
 		func() {
 			defer func() {
@@ -38,6 +36,32 @@ func TestMetricsPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// A single degenerate trip (zero actual travel time) must not kill a
+// benchmark run: MAPE skips it, MARE only degrades to NaN when every
+// actual is zero.
+func TestZeroActualSkipped(t *testing.T) {
+	mape, skipped := MAPESkip([]float64{0, 100, 200}, []float64{5, 110, 180})
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	want := (10.0/100 + 20.0/200) / 2
+	if math.Abs(mape-want) > 1e-12 {
+		t.Fatalf("MAPE = %v, want %v", mape, want)
+	}
+	if got := MAPE([]float64{0, 100, 200}, []float64{5, 110, 180}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MAPE wrapper = %v, want %v", got, want)
+	}
+	if got := MAPE([]float64{0, 0}, []float64{1, 2}); !math.IsNaN(got) {
+		t.Fatalf("all-skipped MAPE = %v, want NaN", got)
+	}
+	if got := MARE([]float64{0, 0}, []float64{0, 0}); !math.IsNaN(got) {
+		t.Fatalf("all-zero MARE = %v, want NaN", got)
+	}
+	if got := MARE([]float64{0, 100}, []float64{10, 110}); math.Abs(got-20.0/100) > 1e-12 {
+		t.Fatalf("MARE with one zero actual = %v, want 0.2", got)
 	}
 }
 

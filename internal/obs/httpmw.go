@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Logf is a printf-style logging hook (log.Printf-compatible).
+type Logf func(format string, args ...any)
+
+// Instrument wraps h with per-route accounting against reg:
+//
+//	tte_http_requests_total{route,code}  counter (code is the status class)
+//	tte_http_request_seconds{route}      latency histogram
+//	tte_http_in_flight                   gauge across all instrumented routes
+//
+// and, when logf is non-nil, one request log line with method, route,
+// status, bytes written and duration. route should be the mux pattern the
+// handler is registered under — using it (rather than the request path)
+// keeps label cardinality bounded.
+func Instrument(reg *Registry, route string, logf Logf, h http.Handler) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	reg.Help("tte_http_requests_total", "HTTP requests by route and status class.")
+	reg.Help("tte_http_request_seconds", "HTTP request latency in seconds by route.")
+	reg.Help("tte_http_in_flight", "HTTP requests currently being served.")
+	latency := reg.Histogram("tte_http_request_seconds", DefBuckets, "route", route)
+	inFlight := reg.Gauge("tte_http_in_flight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Inc()
+		defer inFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		d := time.Since(start)
+		latency.Observe(d.Seconds())
+		reg.Counter("tte_http_requests_total", "route", route, "code", statusClass(sw.Status())).Inc()
+		if logf != nil {
+			logf("%s %s -> %d (%dB) in %s", r.Method, route, sw.Status(), sw.bytes, d.Round(time.Microsecond))
+		}
+	})
+}
+
+// statusWriter captures the status code and body size written downstream.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the response status, defaulting to 200 when the handler
+// never called WriteHeader.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// statusClass maps 204 -> "2xx", 404 -> "4xx", etc.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}

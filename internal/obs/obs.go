@@ -1,0 +1,123 @@
+// Package obs is the stdlib-only observability substrate for the deepod
+// serving and training pipelines: atomic counters, gauges and fixed-bucket
+// histograms collected in a process-global Registry, a lightweight
+// span/timer API for tracing pipeline stages, a Prometheus-text exposition
+// handler for GET /metrics, and HTTP middleware that accounts requests by
+// route and status class.
+//
+// Everything is safe for concurrent use. Metric mutation is lock-free
+// (atomics); metric creation takes a registry lock once per (name, labels)
+// identity, so hot paths should hold on to the returned *Counter /
+// *Gauge / *Histogram rather than re-resolving them per event — though
+// re-resolving is only a read-locked map lookup and is fine for
+// request-rate paths.
+//
+// Metric naming follows the Prometheus conventions: `tte_` prefix,
+// `_total` suffix on counters, `_seconds` on duration histograms. The
+// canonical families used across the repo:
+//
+//	tte_http_requests_total{route,code}   requests by route and status class
+//	tte_http_request_seconds{route}       request latency histogram
+//	tte_http_in_flight                    requests currently being served
+//	tte_span_seconds{span}                pipeline stage durations
+//	                                      (decode, match, encode, estimate,
+//	                                      mapmatch.viterbi, ...)
+//	tte_train_phase_seconds{phase}        offline-training phase durations
+//	                                      (embed_pretrain, forward,
+//	                                      backward, eval)
+//	tte_train_epoch                       current training epoch
+//	tte_train_samples_total               cumulative training samples
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// defaultRegistry is the process-global registry used by the package-level
+// helpers and, by convention, every instrumented package in this repo.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return defaultRegistry }
+
+// SpanFamily is the histogram family package-level spans record into.
+const SpanFamily = "tte_span_seconds"
+
+type spanCtxKey struct{}
+
+// Span measures one timed stage of a pipeline. A Span is started with
+// StartSpan and finished exactly once with End; End records the duration
+// into the registry histogram tte_span_seconds{span="<name>"} and, if a
+// span logger is installed, emits one structured log line.
+type Span struct {
+	name   string
+	parent string
+	start  time.Time
+	hist   *Histogram
+	done   atomic.Bool
+}
+
+// StartSpan begins a named span recording into reg's tte_span_seconds
+// family. The returned context carries the span so nested StartSpan calls
+// can report their parent in log lines.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{
+		name:  name,
+		start: time.Now(),
+		hist:  r.Histogram(SpanFamily, DefBuckets, "span", name),
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
+		s.parent = p.name
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// StartSpan is Registry.StartSpan on the default registry.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return defaultRegistry.StartSpan(ctx, name)
+}
+
+// End finishes the span, records its duration and returns it. Only the
+// first End takes effect; later calls return the duration since start
+// without recording again.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	if !s.done.CompareAndSwap(false, true) {
+		return d
+	}
+	s.hist.Observe(d.Seconds())
+	if f := spanLogger.Load(); f != nil {
+		(*f)(s.name, s.parent, d)
+	}
+	return d
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
+
+// spanLogger, when set, receives every ended span.
+var spanLogger atomic.Pointer[func(name, parent string, d time.Duration)]
+
+// SetSpanLogger installs f to receive a line per ended span (nil disables).
+// Intended for debug serving modes; the histogram is always recorded.
+func SetSpanLogger(f func(name, parent string, d time.Duration)) {
+	if f == nil {
+		spanLogger.Store(nil)
+		return
+	}
+	spanLogger.Store(&f)
+}
+
+// Time starts a timer on the default registry's tte_span_seconds family
+// and returns the function that stops it, for one-line instrumentation:
+//
+//	defer obs.Time("mapmatch.viterbi")()
+func Time(name string) func() time.Duration {
+	_, s := defaultRegistry.StartSpan(nil, name)
+	return s.End
+}

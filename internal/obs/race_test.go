@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistry hammers metric creation and mutation from many
+// goroutines while the exposition handler scrapes concurrently. Run with
+// -race (scripts/check.sh does) to prove the registry is lock-correct:
+// creation races, child-map reads during writes, and scrape-during-update
+// are all exercised.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	routes := []string{"/a", "/b", "/c"}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				route := routes[(w+i)%len(routes)]
+				// Re-resolve every iteration on purpose: this is the
+				// worst-case path that mixes map reads with creation.
+				r.Counter("stress_total", "route", route).Add(1)
+				g := r.Gauge("stress_gauge")
+				g.Inc()
+				r.Histogram("stress_seconds", DefBuckets, "route", route).Observe(float64(i) / float64(iters))
+				g.Dec()
+				if i%64 == 0 {
+					_, s := r.StartSpan(nil, "stress")
+					s.End()
+				}
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("scrape status %d", rec.Code)
+					return
+				}
+				for _, s := range r.Snapshot() {
+					_ = s.Label("route")
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	var total uint64
+	for _, route := range routes {
+		total += r.Counter("stress_total", "route", route).Value()
+	}
+	if want := uint64(workers * iters); total != want {
+		t.Fatalf("lost counter increments: %d != %d", total, want)
+	}
+	var hist uint64
+	for _, route := range routes {
+		hist += r.Histogram("stress_seconds", DefBuckets, "route", route).Count()
+	}
+	if want := uint64(workers * iters); hist != want {
+		t.Fatalf("lost histogram observations: %d != %d", hist, want)
+	}
+	if v := r.Gauge("stress_gauge").Value(); v != 0 {
+		t.Fatalf("gauge should settle at 0, got %v", v)
+	}
+}

@@ -1,0 +1,214 @@
+// Package serve implements the tteserve HTTP API — the paper's online
+// estimation stage (Algorithm 1) as a long-lived service. It is split out
+// of cmd/tteserve so the routes can be exercised with httptest against
+// stub estimators: the Server depends only on callbacks for map matching
+// and estimation, never on a trained model.
+//
+// Routes:
+//
+//	POST /estimate  JSON OD input → travel time estimate
+//	GET  /healthz   liveness + model summary
+//	GET  /metrics   Prometheus text exposition of the obs registry
+//
+// Every route is wrapped with obs.Instrument (request counters by status
+// class, latency histograms, in-flight gauge, request logging), /estimate
+// bodies are size-capped, and all errors are JSON: {"error": "..."}.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"deepod/internal/geo"
+	"deepod/internal/obs"
+	"deepod/internal/traj"
+)
+
+// DefaultMaxBodyBytes caps /estimate request bodies (1 MiB; a valid OD
+// request is under 200 bytes).
+const DefaultMaxBodyBytes = 1 << 20
+
+// Config assembles a Server from its dependencies.
+type Config struct {
+	// City names the served city (reported by /healthz).
+	City string
+	// Match snaps an OD input onto road segments (deepod.MatchOD closed
+	// over a matcher). Required.
+	Match func(traj.ODInput) (traj.MatchedOD, error)
+	// Estimate runs the online estimation on a matched OD. Required.
+	Estimate func(*traj.MatchedOD) float64
+	// External resolves the external features (weather, speed grid) for a
+	// departure time. Optional; nil means no external features.
+	External func(departSec float64) *traj.ExternalFeatures
+	// Health adds static fields to the /healthz payload (edge count,
+	// weight count, ...). Optional.
+	Health map[string]any
+	// MaxBodyBytes caps /estimate bodies (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Registry receives the HTTP metrics and serves /metrics (default
+	// obs.Default()).
+	Registry *obs.Registry
+	// Logf, when non-nil, receives one line per request.
+	Logf obs.Logf
+}
+
+// Server is the assembled HTTP API.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	mux *http.ServeMux
+}
+
+// New validates cfg and builds the route table.
+func New(cfg Config) (*Server, error) {
+	if cfg.Match == nil || cfg.Estimate == nil {
+		return nil, fmt.Errorf("serve: Config.Match and Config.Estimate are required")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	s := &Server{cfg: cfg, reg: cfg.Registry, mux: http.NewServeMux()}
+	route := func(pattern string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, obs.Instrument(s.reg, pattern, cfg.Logf, h))
+	}
+	route("/estimate", s.handleEstimate)
+	route("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", s.reg.Handler())
+	return s, nil
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// EstimateRequest is the POST /estimate body.
+type EstimateRequest struct {
+	Origin    geo.Point `json:"origin"`
+	Dest      geo.Point `json:"dest"`
+	DepartSec float64   `json:"depart_sec"`
+}
+
+// EstimateResponse is the POST /estimate success body.
+type EstimateResponse struct {
+	TravelSeconds float64 `json:"travel_seconds"`
+	TravelHuman   string  `json:"travel_human"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	ctx, decodeSpan := s.reg.StartSpan(r.Context(), "decode")
+	var req EstimateRequest
+	err := json.NewDecoder(r.Body).Decode(&req)
+	decodeSpan.End()
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	if req.DepartSec < 0 {
+		writeError(w, http.StatusBadRequest, "depart_sec must be non-negative")
+		return
+	}
+
+	od := traj.ODInput{
+		Origin:    req.Origin,
+		Dest:      req.Dest,
+		DepartSec: req.DepartSec,
+	}
+	if s.cfg.External != nil {
+		od.External = s.cfg.External(req.DepartSec)
+	}
+	_, matchSpan := s.reg.StartSpan(ctx, "match")
+	matched, err := s.cfg.Match(od)
+	matchSpan.End()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("map matching failed: %v", err))
+		return
+	}
+
+	sec := s.cfg.Estimate(&matched) // encode + estimate spans recorded by core
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		TravelSeconds: sec,
+		TravelHuman:   time.Duration(sec * float64(time.Second)).Round(time.Second).String(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	body := map[string]any{"status": "ok", "city": s.cfg.City}
+	for k, v := range s.cfg.Health {
+		body[k] = v
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeError emits the API's uniform error shape: {"error": "..."}.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// NewHTTPServer wraps h in an http.Server with the serving timeouts the
+// seed's bare ListenAndServe lacked: slowloris-resistant header reads,
+// bounded request reads and writes, and idle-connection reaping.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ListenAndServe runs srv until it fails or ctx is cancelled, then drains
+// in-flight requests for up to grace before forcing connections closed.
+// It returns nil on a clean shutdown.
+func ListenAndServe(ctx context.Context, srv *http.Server, grace time.Duration, logf obs.Logf) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if logf != nil {
+		logf("shutting down (draining up to %s)...", grace)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

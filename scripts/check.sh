@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the PR gate: build, vet, formatting, the full test suite, and
+# a race-detector pass over the concurrent packages (the obs registry and
+# the serving layer are exercised under -race on every run).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/...
+
+echo "ok"
