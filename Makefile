@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt
+.PHONY: build test check race fmt bench servebench
 
 build:
 	go build ./...
@@ -12,7 +12,14 @@ check:
 	./scripts/check.sh
 
 race:
-	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/...
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/...
+	go test -race -run 'ConcurrentSafe' ./internal/core/
 
 fmt:
 	gofmt -w .
+
+bench:
+	go test -run '^$$' -bench=. ./internal/infer/
+
+servebench:
+	go run ./cmd/ttebench -servebench

@@ -11,6 +11,12 @@
 // Experiments: table2 table3 table4 table5 table6 table7 fig5a fig8 fig9
 // fig11 fig12 fig13 fig14a fig14b embedstudy ext-route (table3 prints
 // Figure 10 as well).
+//
+// With -servebench, ttebench instead load-tests the serving path: the
+// direct per-request pipeline vs the inference engine (internal/infer)
+// with and without its estimate cache, on a repeated-OD workload. It
+// prints QPS / p50 / p99 per mode and writes the report to
+// -servebench-out (default BENCH_serve.json).
 package main
 
 import (
@@ -29,8 +35,33 @@ func main() {
 	var (
 		scaleName = flag.String("scale", "tiny", "experiment scale: tiny, shape or small")
 		expList   = flag.String("exp", "all", "comma-separated experiment list or 'all'")
+
+		servebench    = flag.Bool("servebench", false, "run the serving load benchmark instead of the paper experiments")
+		sbCity        = flag.String("servebench-city", "chengdu-s", "city preset for -servebench")
+		sbDuration    = flag.Duration("servebench-duration", 3*time.Second, "measurement window per serving mode")
+		sbConcurrency = flag.Int("servebench-conc", 32, "concurrent closed-loop clients")
+		sbDistinct    = flag.Int("servebench-ods", 200, "distinct OD pairs cycled by the workload")
+		sbOrders      = flag.Int("servebench-orders", 400, "orders synthesized for the workload city")
+		sbSeed        = flag.Int64("servebench-seed", 1, "workload random seed")
+		sbOut         = flag.String("servebench-out", "BENCH_serve.json", "JSON report path")
 	)
 	flag.Parse()
+
+	if *servebench {
+		err := runServeBench(serveBenchOptions{
+			City:        *sbCity,
+			Duration:    *sbDuration,
+			Concurrency: *sbConcurrency,
+			DistinctODs: *sbDistinct,
+			Orders:      *sbOrders,
+			Seed:        *sbSeed,
+			Out:         *sbOut,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deepod"
+	"deepod/internal/core"
+	"deepod/internal/infer"
+	"deepod/internal/obs"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+// serveBenchOptions configures the serving load benchmark (-servebench).
+type serveBenchOptions struct {
+	City        string
+	Duration    time.Duration
+	Concurrency int
+	DistinctODs int
+	Orders      int
+	Seed        int64
+	Out         string
+}
+
+// serveBenchMode is one measured serving configuration.
+type serveBenchMode struct {
+	Name      string  `json:"name"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	Shed      uint64  `json:"shed"`
+	CacheHits uint64  `json:"cache_hits"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// serveBenchReport is the BENCH_serve.json payload.
+type serveBenchReport struct {
+	City                  string           `json:"city"`
+	DurationSec           float64          `json:"duration_sec"`
+	Concurrency           int              `json:"concurrency"`
+	DistinctODs           int              `json:"distinct_ods"`
+	EngineWorkers         int              `json:"engine_workers"`
+	Modes                 []serveBenchMode `json:"modes"`
+	SpeedupCachedVsDirect float64          `json:"speedup_cached_vs_direct"`
+}
+
+// runServeBench measures the serving path three ways on a repeated-OD
+// workload — direct (one synchronous match+estimate per request, the
+// pre-engine behavior), through the engine without caching, and through
+// the engine with the estimate cache — and reports QPS and latency
+// percentiles for each. The model is untrained: forward-pass cost is
+// identical to a trained model's, and only costs are measured here.
+func runServeBench(o serveBenchOptions) error {
+	c, err := deepod.BuildCity(o.City, deepod.CityOptions{Orders: o.Orders, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	cfg := deepod.SmallConfig()
+	m, err := core.New(cfg, c.Graph)
+	if err != nil {
+		return err
+	}
+	matcher, err := deepod.NewMatcher(c.Graph)
+	if err != nil {
+		return err
+	}
+	match := func(od traj.ODInput) (traj.MatchedOD, error) {
+		return deepod.MatchOD(matcher, od)
+	}
+
+	// The workload: a fixed set of on-network OD pairs cycled by every
+	// worker — the "heavy traffic from popular routes" shape that gives a
+	// cache something to do.
+	if o.DistinctODs > len(c.Records) {
+		o.DistinctODs = len(c.Records)
+	}
+	ods := make([]traj.ODInput, o.DistinctODs)
+	for i := range ods {
+		ods[i] = c.Records[i].OD
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	report := serveBenchReport{
+		City:          o.City,
+		DurationSec:   o.Duration.Seconds(),
+		Concurrency:   o.Concurrency,
+		DistinctODs:   o.DistinctODs,
+		EngineWorkers: workers,
+	}
+
+	newEngine := func(cacheEntries int) (*infer.Engine, error) {
+		cells, err := roadnet.NewEdgeIndex(c.Graph, 250)
+		if err != nil {
+			return nil, err
+		}
+		return infer.New(infer.Config{
+			Match:        match,
+			Snapshot:     infer.ModelSnapshot("servebench", m),
+			Workers:      workers,
+			QueueDepth:   4 * o.Concurrency,
+			MaxBatch:     16,
+			QueueTimeout: 5 * time.Second,
+			CacheEntries: cacheEntries,
+			CacheTTL:     time.Hour, // workload is stationary; measure hits, not churn
+			Cells:        cells,
+			Slotter:      m.Slotter(),
+			Registry:     obs.NewRegistry(), // keep bench metrics out of the default registry
+		})
+	}
+
+	direct := func(_ context.Context, od traj.ODInput) (infer.Result, error) {
+		matched, err := match(od)
+		if err != nil {
+			return infer.Result{}, err
+		}
+		return infer.Result{Seconds: m.Estimate(&matched)}, nil
+	}
+
+	run := func(name string, do func(context.Context, traj.ODInput) (infer.Result, error), eng *infer.Engine) serveBenchMode {
+		var (
+			wg   sync.WaitGroup
+			lats = make([][]float64, o.Concurrency)
+			errs = make([]int, o.Concurrency)
+		)
+		deadline := time.Now().Add(o.Duration)
+		ctx := context.Background()
+		for w := 0; w < o.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := make([]float64, 0, 4096)
+				for i := w; time.Now().Before(deadline); i++ {
+					od := ods[i%len(ods)]
+					start := time.Now()
+					_, err := do(ctx, od)
+					buf = append(buf, time.Since(start).Seconds())
+					if err != nil {
+						errs[w]++
+					}
+				}
+				lats[w] = buf
+			}(w)
+		}
+		wg.Wait()
+		var all []float64
+		var nerr int
+		for w := range lats {
+			all = append(all, lats[w]...)
+			nerr += errs[w]
+		}
+		sort.Float64s(all)
+		mode := serveBenchMode{
+			Name:     name,
+			Requests: len(all),
+			Errors:   nerr,
+			QPS:      float64(len(all)) / o.Duration.Seconds(),
+			P50Ms:    percentile(all, 0.50) * 1000,
+			P99Ms:    percentile(all, 0.99) * 1000,
+		}
+		if eng != nil {
+			st := eng.Stats()
+			mode.Shed = st.Shed
+			mode.CacheHits = st.CacheHits
+		}
+		return mode
+	}
+
+	log.Printf("servebench: %s, %d distinct ODs, %d clients, %s per mode",
+		o.City, o.DistinctODs, o.Concurrency, o.Duration)
+
+	report.Modes = append(report.Modes, run("direct", direct, nil))
+
+	engNo, err := newEngine(0)
+	if err != nil {
+		return err
+	}
+	report.Modes = append(report.Modes, run("engine", engNo.Do, engNo))
+	engNo.Close()
+
+	engCache, err := newEngine(65536)
+	if err != nil {
+		return err
+	}
+	report.Modes = append(report.Modes, run("engine+cache", engCache.Do, engCache))
+	engCache.Close()
+
+	report.SpeedupCachedVsDirect = report.Modes[2].QPS / report.Modes[0].QPS
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving load benchmark — %s, %d clients, %d distinct ODs\n",
+		o.City, o.Concurrency, o.DistinctODs)
+	fmt.Fprintf(&b, "%-14s %10s %8s %10s %10s %8s %10s\n",
+		"mode", "QPS", "reqs", "p50 ms", "p99 ms", "errors", "cache hit")
+	for _, md := range report.Modes {
+		fmt.Fprintf(&b, "%-14s %10.0f %8d %10.3f %10.3f %8d %10d\n",
+			md.Name, md.QPS, md.Requests, md.P50Ms, md.P99Ms, md.Errors, md.CacheHits)
+	}
+	fmt.Fprintf(&b, "cached throughput vs direct: %.1fx\n", report.SpeedupCachedVsDirect)
+	fmt.Println(b.String())
+
+	f, err := os.Create(o.Out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("servebench: wrote %s", o.Out)
+	return nil
+}
+
+// percentile returns the q-quantile of sorted values (nearest rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

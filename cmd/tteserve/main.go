@@ -1,25 +1,31 @@
 // Command tteserve exposes OD travel-time estimation over HTTP — the
 // paper's "online estimation" stage (Algorithm 1) as a service. It either
-// loads a model saved by ttetrain or trains one at startup, then answers
-// JSON estimation requests:
+// loads a model saved by ttetrain or trains one at startup, then routes
+// all estimate traffic through the inference engine (internal/infer):
+// bounded admission queue with load shedding, per-worker micro-batching,
+// a sharded LRU+TTL estimate cache, and hot model reload.
 //
 //	tteserve -city chengdu-s -model model.gob -addr :8080
 //
 //	POST /estimate
 //	{"origin":{"X":500,"Y":700},"dest":{"X":1900,"Y":2100},"depart_sec":36000}
-//	→ {"travel_seconds":412.7,"travel_human":"6m52s"}
+//	→ {"travel_seconds":412.7,"travel_human":"6m52s","model":"8c7e12ab90ff"}
 //
-//	GET /healthz → {"status":"ok", ...}
-//	GET /metrics → Prometheus text exposition (see README "Observability")
+//	GET  /healthz → {"status":"ok", ...}
+//	GET  /version → live model snapshot hash, engine config, build info
+//	POST /reload  → re-read -model from disk and atomically swap it in
+//	GET  /metrics → Prometheus text exposition (see README "Observability")
 //
-// Errors are JSON: {"error": "..."}. With -debug-addr, net/http/pprof is
-// served on a separate mux so profiling is never exposed on the public
-// listener. SIGINT/SIGTERM drain in-flight requests before exit.
+// SIGHUP triggers the same reload as POST /reload. Errors are JSON:
+// {"error": "..."}. With -debug-addr, net/http/pprof is served on a
+// separate mux so profiling is never exposed on the public listener.
+// SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -29,8 +35,9 @@ import (
 	"time"
 
 	"deepod"
-	"deepod/internal/core"
+	"deepod/internal/infer"
 	"deepod/internal/obs"
+	"deepod/internal/roadnet"
 	"deepod/internal/serve"
 	"deepod/internal/traj"
 )
@@ -49,6 +56,15 @@ func main() {
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
 		logReq    = flag.Bool("log-requests", true, "log one line per request")
 		logSpans  = flag.Bool("log-spans", false, "log every pipeline span (verbose)")
+
+		direct       = flag.Bool("direct", false, "bypass the inference engine: one synchronous match+estimate per request")
+		workers      = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 256, "engine admission queue depth (full queue sheds 429)")
+		maxBatch     = flag.Int("batch", 16, "max requests per worker micro-batch")
+		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "max queue wait before shedding 503")
+		cacheEntries = flag.Int("cache", 8192, "estimate cache capacity in entries (0 = disabled)")
+		cacheTTL     = flag.Duration("cache-ttl", 5*time.Minute, "estimate cache entry lifetime")
+		cacheCell    = flag.Float64("cache-cell", 250, "spatial quantization cell for cache keys, meters")
 	)
 	flag.Parse()
 
@@ -56,29 +72,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var m *core.Model
+	var snap *infer.Snapshot
 	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
+		snap, err = infer.LoadCheckpoint(*modelPath, c.Graph)
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err = core.Load(f, c.Graph)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded model from %s", *modelPath)
+		log.Printf("loaded model %s from %s", snap.ID, *modelPath)
 	} else {
 		log.Printf("training model on %d orders...", *orders)
 		cfg := deepod.SmallConfig()
-		m, err = deepod.Train(cfg, c, nil)
+		m, err := deepod.Train(cfg, c, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
+		snap = infer.ModelSnapshot(fmt.Sprintf("startup-train-seed%d", *seed), m)
 	}
 	matcher, err := deepod.NewMatcher(c.Graph)
 	if err != nil {
 		log.Fatal(err)
+	}
+	match := func(od traj.ODInput) (traj.MatchedOD, error) {
+		return deepod.MatchOD(matcher, od)
 	}
 
 	if *logSpans {
@@ -93,20 +108,79 @@ func main() {
 	if *logReq {
 		logf = log.Printf
 	}
-	srv, err := serve.New(serve.Config{
-		City: c.Name,
-		Match: func(od traj.ODInput) (traj.MatchedOD, error) {
-			return deepod.MatchOD(matcher, od)
-		},
-		Estimate: m.Estimate,
-		External: c.Grid.External,
+
+	bounds := c.Graph.Bounds()
+	scfg := serve.Config{
+		City:   c.Name,
+		Bounds: &bounds,
 		Health: map[string]any{
-			"edges":   c.Graph.NumEdges(),
-			"weights": m.NumWeights(),
+			"edges": c.Graph.NumEdges(),
+			"model": snap.ID,
 		},
 		MaxBodyBytes: *maxBody,
 		Logf:         logf,
-	})
+	}
+
+	scfg.External = c.Grid.External
+	if *direct {
+		log.Printf("engine disabled (-direct): serving synchronous per-request path")
+		scfg.Match = match
+		scfg.Estimate = snap.Estimate
+	} else {
+		cells, err := roadnet.NewEdgeIndex(c.Graph, *cacheCell)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := infer.New(infer.Config{
+			Match:        match,
+			Snapshot:     snap,
+			Workers:      *workers,
+			QueueDepth:   *queueDepth,
+			MaxBatch:     *maxBatch,
+			QueueTimeout: *queueTimeout,
+			CacheEntries: *cacheEntries,
+			CacheTTL:     *cacheTTL,
+			Cells:        cells,
+			Slotter:      snap.Slotter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+		scfg.Infer = eng.Do
+		scfg.Version = eng.Version
+
+		reload := func() (map[string]any, error) {
+			if *modelPath == "" {
+				return nil, fmt.Errorf("server was started without -model; nothing to reload from")
+			}
+			next, err := infer.LoadCheckpoint(*modelPath, c.Graph)
+			if err != nil {
+				return nil, err
+			}
+			prev, err := eng.Swap(next)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("reloaded model %s (was %s)", next.ID, prev.ID)
+			return map[string]any{"model": next.ID, "previous": prev.ID}, nil
+		}
+		scfg.Reload = reload
+
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if _, err := reload(); err != nil {
+					log.Printf("SIGHUP reload: %v", err)
+				}
+			}
+		}()
+		log.Printf("engine: %d workers, queue %d, batch %d, cache %d entries (TTL %s, cell %.0fm)",
+			eng.Version()["workers"], *queueDepth, *maxBatch, *cacheEntries, *cacheTTL, *cacheCell)
+	}
+
+	srv, err := serve.New(scfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,127 @@
+package infer
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepod/internal/obs"
+	"deepod/internal/timeslot"
+	"deepod/internal/traj"
+)
+
+// benchEstimate burns a few microseconds of pure float math, standing in
+// for a model forward pass so the benchmarks compare serving overheads
+// (queueing, batching, caching) against a realistic per-request cost
+// without building a road network.
+func benchEstimate(m *traj.MatchedOD) float64 {
+	x := 1.0 + m.DepartSec
+	for i := 0; i < 2000; i++ {
+		x += 1.0 / x
+	}
+	return x
+}
+
+// benchWorkload is a fixed cycle of distinct ODs, the repeated-OD traffic
+// shape the cache is designed for.
+func benchWorkload(n int) []traj.ODInput {
+	ods := make([]traj.ODInput, n)
+	for i := range ods {
+		ods[i] = od(float64(i%17), float64(i%23), float64(3+i%13), float64(5+i%7), float64(60*(i%12)))
+	}
+	return ods
+}
+
+func benchEngine(b *testing.B, cacheEntries int) *Engine {
+	b.Helper()
+	e, err := New(Config{
+		Match:        okMatch,
+		Snapshot:     &Snapshot{ID: "bench", Estimate: benchEstimate},
+		Workers:      runtime.GOMAXPROCS(0),
+		QueueDepth:   4096,
+		MaxBatch:     16,
+		QueueTimeout: time.Minute,
+		CacheEntries: cacheEntries,
+		CacheTTL:     time.Hour,
+		Cells:        gridQuantizer{},
+		Slotter:      timeslot.MustNew(5 * time.Minute),
+		Registry:     obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	return e
+}
+
+// BenchmarkDirect is the pre-engine serving path: one synchronous
+// match+estimate per request on the caller's goroutine.
+func BenchmarkDirect(b *testing.B) {
+	ods := benchWorkload(64)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			in := ods[int(next.Add(1))%len(ods)]
+			matched, err := okMatch(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchEstimate(&matched)
+		}
+	})
+}
+
+// BenchmarkEngineNoCache measures the engine's queue+batch overhead with
+// the cache disabled: every request pays the full estimate.
+func BenchmarkEngineNoCache(b *testing.B) {
+	e := benchEngine(b, 0)
+	ods := benchWorkload(64)
+	var next atomic.Int64
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Do(ctx, ods[int(next.Add(1))%len(ods)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineCached is the full engine on the repeated-OD workload:
+// after one cold pass the 64 distinct keys are resident, so nearly every
+// request is a cache hit.
+func BenchmarkEngineCached(b *testing.B) {
+	e := benchEngine(b, 4096)
+	ods := benchWorkload(64)
+	var next atomic.Int64
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Do(ctx, ods[int(next.Add(1))%len(ods)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCacheGet isolates the sharded cache's hot read path.
+func BenchmarkCacheGet(b *testing.B) {
+	c := newEstimateCache(4096, 16, time.Hour, obs.NewRegistry())
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < 1024; i++ {
+		c.put(cacheKey{originCell: i, destCell: i * 3, slot: i % 288}, float64(i), 1, now)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) % 1024
+			c.get(cacheKey{originCell: i, destCell: i * 3, slot: i % 288}, 1, now)
+		}
+	})
+}

@@ -1,0 +1,469 @@
+// Package infer is the inference engine between the HTTP surface
+// (internal/serve) and the DeepOD model (internal/core) — the layer that
+// turns the paper's cheap online estimation (Algorithm 1: OD encoder +
+// estimator MLP only) into a production serving path:
+//
+//   - Admission control: a bounded queue in front of a fixed worker pool.
+//     When the queue is full the request is shed immediately
+//     (ErrOverloaded → 429); when it waits longer than QueueTimeout it is
+//     abandoned (ErrQueueTimeout → 503). Requests never hang.
+//   - Micro-batching: each worker drains up to MaxBatch queued requests at
+//     once and serves the whole batch against a single snapshot load, so a
+//     hot reload can never split one batch across two models.
+//   - Caching: a sharded LRU+TTL cache keyed by (origin cell, dest cell,
+//     time slot). The spatial cells come from roadnet's uniform grid index
+//     and the slot from timeslot.Slotter — the same quantizations the model
+//     itself uses, so a cache hit answers with the estimate of an
+//     indistinguishable input.
+//   - Hot reload: the model lives behind an atomic snapshot pointer. Swap
+//     installs a new checkpoint without dropping a single in-flight
+//     request; generation tags make every cached estimate from the old
+//     model invisible the moment the swap lands.
+//
+// Every stage is instrumented in internal/obs:
+//
+//	tte_infer_queue_depth            gauge, queued requests
+//	tte_infer_queue_wait_seconds     histogram, admission → worker pickup
+//	tte_infer_batch_size             histogram, requests per worker batch
+//	tte_infer_cache_events_total     counter {event=hit|miss|evict_lru|evict_ttl|evict_stale}
+//	tte_infer_cache_entries          gauge, live cache entries
+//	tte_infer_shed_total             counter {reason=queue_full|queue_timeout}
+//	tte_infer_reloads_total          counter, snapshot swaps
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepod/internal/geo"
+	"deepod/internal/obs"
+	"deepod/internal/timeslot"
+	"deepod/internal/traj"
+)
+
+// Sentinel errors mapped to HTTP statuses by internal/serve.
+var (
+	// ErrOverloaded means the admission queue was full (serve → 429).
+	ErrOverloaded = errors.New("infer: admission queue full")
+	// ErrQueueTimeout means the request waited longer than QueueTimeout
+	// for a worker (serve → 503).
+	ErrQueueTimeout = errors.New("infer: timed out waiting for a worker")
+	// ErrInvalidInput means the OD input had non-finite coordinates or a
+	// negative departure time (serve → 400).
+	ErrInvalidInput = errors.New("infer: invalid OD input")
+	// ErrClosed means Do was called after Close.
+	ErrClosed = errors.New("infer: engine closed")
+)
+
+// MatchError wraps a map-matching failure so serve can answer 422 (the
+// request was well-formed but no road segment fits it).
+type MatchError struct{ Err error }
+
+func (e *MatchError) Error() string { return fmt.Sprintf("infer: map matching failed: %v", e.Err) }
+func (e *MatchError) Unwrap() error { return e.Err }
+
+// Quantizer maps a point onto a stable coarse spatial cell. Implemented by
+// roadnet.EdgeIndex; stubs suffice for tests.
+type Quantizer interface {
+	CellIndex(p geo.Point) int
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Match snaps an OD input onto road segments. Required. It is called
+	// from worker goroutines and must be safe for concurrent use
+	// (mapmatch.Matcher.MatchPoint is read-only after construction).
+	Match func(traj.ODInput) (traj.MatchedOD, error)
+	// Snapshot is the initial serving model. Required.
+	Snapshot *Snapshot
+
+	// Workers is the number of serving goroutines (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 256). A full queue
+	// sheds new requests with ErrOverloaded.
+	QueueDepth int
+	// MaxBatch caps how many queued requests one worker drains per batch
+	// (default 16).
+	MaxBatch int
+	// QueueTimeout bounds how long an admitted request may wait for a
+	// worker before it is abandoned with ErrQueueTimeout (default 2s).
+	QueueTimeout time.Duration
+
+	// CacheEntries is the total estimate-cache capacity; 0 disables
+	// caching. When enabled, Cells and Slotter are required for key
+	// quantization.
+	CacheEntries int
+	// CacheTTL bounds estimate staleness (default 5m). Traffic drifts
+	// within a slot, so entries expire even if their slot is still
+	// current.
+	CacheTTL time.Duration
+	// CacheShards is the lock-domain count (default 16, rounded up to a
+	// power of two).
+	CacheShards int
+	// Cells quantizes origins/destinations for cache keys.
+	Cells Quantizer
+	// Slotter quantizes departure times for cache keys.
+	Slotter *timeslot.Slotter
+
+	// Registry receives engine metrics (default obs.Default()).
+	Registry *obs.Registry
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// Result is one answered estimate.
+type Result struct {
+	// Seconds is the estimated travel time.
+	Seconds float64
+	// Cached reports whether the answer came from the estimate cache.
+	Cached bool
+	// SnapshotID names the model snapshot that produced the estimate (for
+	// cached answers, the snapshot that originally computed it — which by
+	// the generation check is the live one).
+	SnapshotID string
+}
+
+// installed pairs a snapshot with its generation number. The generation
+// strictly increases across swaps and tags cache entries, so a reload
+// instantly invalidates every estimate the previous model produced.
+type installed struct {
+	snap *Snapshot
+	gen  uint64
+}
+
+type outcome struct {
+	sec    float64
+	snapID string
+	err    error
+}
+
+type job struct {
+	od       traj.ODInput
+	enqueued time.Time
+	// picked is set by the worker taking the job; abandoned by a caller
+	// that gave up. The pair resolves the shed-vs-serve race: a worker
+	// skips abandoned jobs, and a caller whose queue timer fires after
+	// pickup keeps waiting (the timeout bounds queue wait, not service).
+	picked    atomic.Bool
+	abandoned atomic.Bool
+	done      chan outcome
+}
+
+// Engine mediates all estimate traffic: admission, batching, caching and
+// snapshot management. Construct with New, serve with Do, upgrade with
+// Swap, stop with Close.
+type Engine struct {
+	cfg   Config
+	reg   *obs.Registry
+	now   func() time.Time
+	cur   atomic.Pointer[installed]
+	gen   atomic.Uint64
+	queue chan *job
+	cache *estimateCache
+
+	mu     sync.RWMutex // guards closed against concurrent enqueue
+	closed bool
+	wg     sync.WaitGroup
+
+	depthGauge  *obs.Gauge
+	queueWait   *obs.Histogram
+	batchSize   *obs.Histogram
+	shedFull    *obs.Counter
+	shedTimeout *obs.Counter
+	reloads     *obs.Counter
+}
+
+// batchSizeBuckets cover 1..MaxBatch for typical settings.
+var batchSizeBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// New validates cfg, installs the initial snapshot and starts the worker
+// pool.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Match == nil {
+		return nil, fmt.Errorf("infer: Config.Match is required")
+	}
+	if cfg.Snapshot == nil || cfg.Snapshot.Estimate == nil {
+		return nil, fmt.Errorf("infer: Config.Snapshot with an Estimate func is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 2 * time.Second
+	}
+	if cfg.CacheTTL <= 0 {
+		cfg.CacheTTL = 5 * time.Minute
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.CacheEntries > 0 && (cfg.Cells == nil || cfg.Slotter == nil) {
+		return nil, fmt.Errorf("infer: caching needs Config.Cells and Config.Slotter for key quantization")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	reg := cfg.Registry
+	reg.Help("tte_infer_queue_depth", "Requests waiting in the inference admission queue.")
+	reg.Help("tte_infer_queue_wait_seconds", "Time from admission to worker pickup.")
+	reg.Help("tte_infer_batch_size", "Requests served per worker micro-batch.")
+	reg.Help("tte_infer_cache_events_total", "Estimate cache events: hit, miss, evict_lru, evict_ttl, evict_stale.")
+	reg.Help("tte_infer_cache_entries", "Live entries in the estimate cache.")
+	reg.Help("tte_infer_shed_total", "Requests shed by admission control, by reason.")
+	reg.Help("tte_infer_reloads_total", "Model snapshot hot swaps since start.")
+	e := &Engine{
+		cfg:   cfg,
+		reg:   reg,
+		now:   cfg.Now,
+		queue: make(chan *job, cfg.QueueDepth),
+
+		depthGauge:  reg.Gauge("tte_infer_queue_depth"),
+		queueWait:   reg.Histogram("tte_infer_queue_wait_seconds", obs.DefBuckets),
+		batchSize:   reg.Histogram("tte_infer_batch_size", batchSizeBuckets),
+		shedFull:    reg.Counter("tte_infer_shed_total", "reason", "queue_full"),
+		shedTimeout: reg.Counter("tte_infer_shed_total", "reason", "queue_timeout"),
+		reloads:     reg.Counter("tte_infer_reloads_total"),
+	}
+	if cfg.CacheEntries > 0 {
+		e.cache = newEstimateCache(cfg.CacheEntries, cfg.CacheShards, cfg.CacheTTL, reg)
+	}
+	e.install(cfg.Snapshot)
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// install atomically publishes snap under a fresh generation.
+func (e *Engine) install(snap *Snapshot) {
+	if snap.LoadedAt.IsZero() {
+		snap.LoadedAt = e.now()
+	}
+	e.cur.Store(&installed{snap: snap, gen: e.gen.Add(1)})
+}
+
+// Swap atomically replaces the serving snapshot and returns the previous
+// one. In-flight batches finish on the snapshot they loaded; cache entries
+// produced by the previous model become invisible immediately (generation
+// mismatch) and are dropped lazily on lookup.
+func (e *Engine) Swap(snap *Snapshot) (previous *Snapshot, err error) {
+	if snap == nil || snap.Estimate == nil {
+		return nil, fmt.Errorf("infer: Swap needs a snapshot with an Estimate func")
+	}
+	old := e.cur.Load()
+	e.install(snap)
+	e.reloads.Inc()
+	return old.snap, nil
+}
+
+// Snapshot returns the currently serving snapshot.
+func (e *Engine) Snapshot() *Snapshot { return e.cur.Load().snap }
+
+// Version reports the live snapshot and engine configuration for the
+// /version endpoint.
+func (e *Engine) Version() map[string]any {
+	inst := e.cur.Load()
+	v := map[string]any{
+		"model":           inst.snap.ID,
+		"model_loaded_at": inst.snap.LoadedAt.UTC().Format(time.RFC3339),
+		"generation":      inst.gen,
+		"reloads":         e.reloads.Value(),
+		"workers":         e.cfg.Workers,
+		"queue_depth":     e.cfg.QueueDepth,
+		"max_batch":       e.cfg.MaxBatch,
+		"queue_timeout":   e.cfg.QueueTimeout.String(),
+		"cache_entries":   e.cfg.CacheEntries,
+		"cache_ttl":       e.cfg.CacheTTL.String(),
+	}
+	for k, val := range inst.snap.Meta {
+		v[k] = val
+	}
+	return v
+}
+
+// Stats is a point-in-time counter snapshot for tests and benchmarks.
+type Stats struct {
+	Shed       uint64
+	CacheHits  uint64
+	CacheMiss  uint64
+	Reloads    uint64
+	CacheItems int
+}
+
+// Stats reads the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Shed:    e.shedFull.Value() + e.shedTimeout.Value(),
+		Reloads: e.reloads.Value(),
+	}
+	if e.cache != nil {
+		s.CacheHits = e.cache.hitTotal.Value()
+		s.CacheMiss = e.cache.missTotal.Value()
+		s.CacheItems = e.cache.len()
+	}
+	return s
+}
+
+// validate rejects inputs that would poison downstream stages: non-finite
+// coordinates break map matching's distance math, and a negative departure
+// is before the dataset epoch (timeslot.Slotter panics on it by design).
+func validate(od traj.ODInput) error {
+	for _, v := range [5]float64{od.Origin.X, od.Origin.Y, od.Dest.X, od.Dest.Y, od.DepartSec} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ErrInvalidInput
+		}
+	}
+	if od.DepartSec < 0 {
+		return ErrInvalidInput
+	}
+	return nil
+}
+
+func (e *Engine) keyOf(od traj.ODInput) cacheKey {
+	return cacheKey{
+		originCell: e.cfg.Cells.CellIndex(od.Origin),
+		destCell:   e.cfg.Cells.CellIndex(od.Dest),
+		slot:       e.cfg.Slotter.Slot(od.DepartSec),
+	}
+}
+
+// Do serves one estimate: cache lookup, admission, then a worker batch
+// answers it. It returns ErrOverloaded / ErrQueueTimeout when shed, a
+// *MatchError when the OD cannot be snapped to the network, or the
+// context's error if the caller gave up first.
+func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
+	if err := validate(od); err != nil {
+		return Result{}, err
+	}
+	inst := e.cur.Load()
+	if e.cache != nil {
+		if sec, ok := e.cache.get(e.keyOf(od), inst.gen, e.now()); ok {
+			return Result{Seconds: sec, Cached: true, SnapshotID: inst.snap.ID}, nil
+		}
+	}
+
+	j := &job{od: od, enqueued: e.now(), done: make(chan outcome, 1)}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	select {
+	case e.queue <- j:
+		e.mu.RUnlock()
+		e.depthGauge.Set(float64(len(e.queue)))
+	default:
+		e.mu.RUnlock()
+		e.shedFull.Inc()
+		return Result{}, ErrOverloaded
+	}
+
+	timer := time.NewTimer(e.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-j.done:
+		return out.result()
+	case <-ctx.Done():
+		j.abandoned.Store(true)
+		return Result{}, ctx.Err()
+	case <-timer.C:
+		if !j.picked.Load() {
+			j.abandoned.Store(true)
+			e.shedTimeout.Inc()
+			return Result{}, ErrQueueTimeout
+		}
+		// A worker took the job just in time: the timeout only bounds
+		// queue wait, so keep waiting for the in-progress answer.
+		select {
+		case out := <-j.done:
+			return out.result()
+		case <-ctx.Done():
+			j.abandoned.Store(true)
+			return Result{}, ctx.Err()
+		}
+	}
+}
+
+func (out outcome) result() (Result, error) {
+	if out.err != nil {
+		return Result{}, out.err
+	}
+	return Result{Seconds: out.sec, SnapshotID: out.snapID}, nil
+}
+
+// worker serves batches until the queue closes. The snapshot is loaded
+// once per batch: every request in a batch is answered by the same model,
+// and a concurrent Swap only affects subsequent batches.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	batch := make([]*job, 0, e.cfg.MaxBatch)
+	for first := range e.queue {
+		batch = append(batch[:0], first)
+	drain:
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case j, ok := <-e.queue:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, j)
+			default:
+				break drain
+			}
+		}
+		e.depthGauge.Set(float64(len(e.queue)))
+		e.batchSize.Observe(float64(len(batch)))
+		inst := e.cur.Load()
+		now := e.now()
+		for _, j := range batch {
+			e.queueWait.Observe(now.Sub(j.enqueued).Seconds())
+			j.picked.Store(true)
+			if j.abandoned.Load() {
+				continue // caller already answered 503/ctx error
+			}
+			matched, err := e.cfg.Match(j.od)
+			if err != nil {
+				j.done <- outcome{err: &MatchError{Err: err}}
+				continue
+			}
+			sec := inst.snap.Estimate(&matched)
+			if e.cache != nil {
+				// Tagged with the batch's generation: if a Swap landed
+				// mid-batch this entry is already stale and will never
+				// be served.
+				e.cache.put(e.keyOf(j.od), sec, inst.gen, e.now())
+			}
+			j.done <- outcome{sec: sec, snapID: inst.snap.ID}
+		}
+	}
+}
+
+// Close stops admission, waits for queued work to finish and stops the
+// workers. Do returns ErrClosed afterwards.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+	e.wg.Wait()
+}

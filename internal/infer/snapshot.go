@@ -1,0 +1,70 @@
+package infer
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"time"
+
+	"deepod/internal/core"
+	"deepod/internal/roadnet"
+	"deepod/internal/timeslot"
+	"deepod/internal/traj"
+)
+
+// Snapshot is one immutable serving model. The engine holds the live
+// snapshot behind an atomic pointer; Swap installs a new one without
+// blocking traffic, and in-flight batches keep the pointer they loaded, so
+// they finish on the model they started with.
+type Snapshot struct {
+	// ID names the snapshot to operators (/version, estimate responses).
+	// LoadCheckpoint uses a truncated SHA-256 of the checkpoint file.
+	ID string
+	// Estimate answers a matched OD on this snapshot's weights. It must be
+	// safe for concurrent callers (core.Model.Estimate is; see the -race
+	// test in internal/core).
+	Estimate func(*traj.MatchedOD) float64
+	// Meta carries operator-facing facts merged into /version output
+	// (weight count, checkpoint path, ...).
+	Meta map[string]any
+	// Slotter is the model's time discretizer, handed to the engine for
+	// cache-key quantization (nil for stub snapshots in tests).
+	Slotter *timeslot.Slotter
+	// LoadedAt is when the snapshot was built (set by Swap if zero).
+	LoadedAt time.Time
+}
+
+// ModelSnapshot wraps a trained core model as a serving snapshot.
+func ModelSnapshot(id string, m *core.Model) *Snapshot {
+	return &Snapshot{
+		ID:       id,
+		Estimate: m.Estimate,
+		Meta: map[string]any{
+			"weights": m.NumWeights(),
+			"edges":   m.Graph().NumEdges(),
+		},
+		Slotter:  m.Slotter(),
+		LoadedAt: time.Now(),
+	}
+}
+
+// LoadCheckpoint reads a checkpoint written by core.Model.Save, validates
+// it against the live road network (core.Load rejects a mismatched edge
+// count) and returns a snapshot whose ID is the first 12 hex digits of the
+// file's SHA-256 — so /version answers exactly which bytes are serving.
+func LoadCheckpoint(path string, g *roadnet.Graph) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("infer: reading checkpoint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	m, err := core.Load(bytes.NewReader(b), g)
+	if err != nil {
+		return nil, fmt.Errorf("infer: loading checkpoint %s: %w", path, err)
+	}
+	s := ModelSnapshot(hex.EncodeToString(sum[:])[:12], m)
+	s.Meta["checkpoint"] = path
+	return s, nil
+}

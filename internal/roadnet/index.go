@@ -48,6 +48,16 @@ func NewEdgeIndex(g *Graph, cellSize float64) (*EdgeIndex, error) {
 	return idx, nil
 }
 
+// CellIndex returns the flattened grid cell containing p (points outside
+// the padded bounds clamp to border cells). It exposes the index's spatial
+// quantization to callers that need a stable coarse location key — the
+// inference engine's estimate cache uses it for the (origin cell, dest
+// cell) components of its key.
+func (idx *EdgeIndex) CellIndex(p geo.Point) int { return idx.grid.CellIndex(p) }
+
+// NumCells returns the number of grid cells in the index.
+func (idx *EdgeIndex) NumCells() int { return idx.grid.NumCells() }
+
 // Candidate is a road segment near a query point.
 type Candidate struct {
 	Edge EdgeID

@@ -2,17 +2,25 @@
 // estimation stage (Algorithm 1) as a long-lived service. It is split out
 // of cmd/tteserve so the routes can be exercised with httptest against
 // stub estimators: the Server depends only on callbacks for map matching
-// and estimation, never on a trained model.
+// and estimation (or an infer-engine submit function), never on a trained
+// model.
 //
 // Routes:
 //
 //	POST /estimate  JSON OD input → travel time estimate
 //	GET  /healthz   liveness + model summary
+//	GET  /version   live model snapshot, engine config and build info
+//	POST /reload    hot-swap the model checkpoint (when wired)
 //	GET  /metrics   Prometheus text exposition of the obs registry
 //
 // Every route is wrapped with obs.Instrument (request counters by status
 // class, latency histograms, in-flight gauge, request logging), /estimate
 // bodies are size-capped, and all errors are JSON: {"error": "..."}.
+//
+// When Config.Infer is set, /estimate routes through the inference engine
+// and its admission-control errors map onto HTTP: ErrOverloaded → 429 and
+// ErrQueueTimeout → 503 (both with Retry-After), MatchError → 422,
+// ErrInvalidInput → 400.
 package serve
 
 import (
@@ -20,10 +28,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"deepod/internal/geo"
+	"deepod/internal/infer"
 	"deepod/internal/obs"
 	"deepod/internal/traj"
 )
@@ -32,15 +44,32 @@ import (
 // request is under 200 bytes).
 const DefaultMaxBodyBytes = 1 << 20
 
-// Config assembles a Server from its dependencies.
+// Config assembles a Server from its dependencies. Exactly one estimate
+// path must be wired: either Infer (the engine path) or Match+Estimate
+// (the direct path).
 type Config struct {
 	// City names the served city (reported by /healthz).
 	City string
+	// Infer submits the request to an inference engine (infer.Engine.Do).
+	// When set, Match/Estimate are ignored and the engine owns matching,
+	// batching, caching and admission control.
+	Infer func(ctx context.Context, od traj.ODInput) (infer.Result, error)
 	// Match snaps an OD input onto road segments (deepod.MatchOD closed
-	// over a matcher). Required.
+	// over a matcher). Required unless Infer is set.
 	Match func(traj.ODInput) (traj.MatchedOD, error)
-	// Estimate runs the online estimation on a matched OD. Required.
+	// Estimate runs the online estimation on a matched OD. Required
+	// unless Infer is set.
 	Estimate func(*traj.MatchedOD) float64
+	// Bounds, when non-nil, rejects estimate requests whose origin or
+	// destination falls outside the road network's bounding box with 400
+	// before they reach map matching.
+	Bounds *geo.Rect
+	// Version adds live-model fields (snapshot ID, generation, engine
+	// config — infer.Engine.Version) to the /version payload. Optional.
+	Version func() map[string]any
+	// Reload hot-swaps the serving model; its map is echoed in the
+	// /reload response. Optional; when nil the route answers 501.
+	Reload func() (map[string]any, error)
 	// External resolves the external features (weather, speed grid) for a
 	// departure time. Optional; nil means no external features.
 	External func(departSec float64) *traj.ExternalFeatures
@@ -65,8 +94,8 @@ type Server struct {
 
 // New validates cfg and builds the route table.
 func New(cfg Config) (*Server, error) {
-	if cfg.Match == nil || cfg.Estimate == nil {
-		return nil, fmt.Errorf("serve: Config.Match and Config.Estimate are required")
+	if cfg.Infer == nil && (cfg.Match == nil || cfg.Estimate == nil) {
+		return nil, fmt.Errorf("serve: Config needs either Infer or both Match and Estimate")
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
@@ -80,6 +109,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	route("/estimate", s.handleEstimate)
 	route("/healthz", s.handleHealth)
+	route("/version", s.handleVersion)
+	route("/reload", s.handleReload)
 	s.mux.Handle("/metrics", s.reg.Handler())
 	return s, nil
 }
@@ -98,6 +129,41 @@ type EstimateRequest struct {
 type EstimateResponse struct {
 	TravelSeconds float64 `json:"travel_seconds"`
 	TravelHuman   string  `json:"travel_human"`
+	// Cached and Model are set on the engine path: whether the answer came
+	// from the estimate cache and which model snapshot produced it.
+	Cached bool   `json:"cached,omitempty"`
+	Model  string `json:"model,omitempty"`
+}
+
+// validateRequest rejects inputs that must not reach map matching:
+// non-finite coordinates or departure (their distance math is poison),
+// negative departures, and — when the network bounds are known — points
+// outside them. Returns a client-facing message, or "" when valid.
+func (s *Server) validateRequest(req EstimateRequest) string {
+	for _, c := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"origin.X", req.Origin.X}, {"origin.Y", req.Origin.Y},
+		{"dest.X", req.Dest.X}, {"dest.Y", req.Dest.Y},
+		{"depart_sec", req.DepartSec},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Sprintf("%s must be a finite number", c.name)
+		}
+	}
+	if req.DepartSec < 0 {
+		return "depart_sec must be non-negative"
+	}
+	if s.cfg.Bounds != nil {
+		if !s.cfg.Bounds.Contains(req.Origin) {
+			return fmt.Sprintf("origin %+v is outside the road network bounds", req.Origin)
+		}
+		if !s.cfg.Bounds.Contains(req.Dest) {
+			return fmt.Sprintf("dest %+v is outside the road network bounds", req.Dest)
+		}
+	}
+	return ""
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -122,8 +188,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
-	if req.DepartSec < 0 {
-		writeError(w, http.StatusBadRequest, "depart_sec must be non-negative")
+	if msg := s.validateRequest(req); msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
 		return
 	}
 
@@ -135,6 +201,22 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.External != nil {
 		od.External = s.cfg.External(req.DepartSec)
 	}
+
+	if s.cfg.Infer != nil {
+		res, err := s.cfg.Infer(ctx, od)
+		if err != nil {
+			writeInferError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, EstimateResponse{
+			TravelSeconds: res.Seconds,
+			TravelHuman:   humanDuration(res.Seconds),
+			Cached:        res.Cached,
+			Model:         res.SnapshotID,
+		})
+		return
+	}
+
 	_, matchSpan := s.reg.StartSpan(ctx, "match")
 	matched, err := s.cfg.Match(od)
 	matchSpan.End()
@@ -146,8 +228,98 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	sec := s.cfg.Estimate(&matched) // encode + estimate spans recorded by core
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		TravelSeconds: sec,
-		TravelHuman:   time.Duration(sec * float64(time.Second)).Round(time.Second).String(),
+		TravelHuman:   humanDuration(sec),
 	})
+}
+
+func humanDuration(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Second).String()
+}
+
+// writeInferError maps engine errors onto HTTP statuses. Shed requests get
+// a Retry-After hint: queue-full is instantaneous back-pressure (retry
+// right away against fresh capacity), queue-timeout means the pool is
+// saturated (retry later).
+func writeInferError(w http.ResponseWriter, err error) {
+	var matchErr *infer.MatchError
+	switch {
+	case errors.Is(err, infer.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry shortly")
+	case errors.Is(err, infer.ErrQueueTimeout):
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusServiceUnavailable, "timed out waiting for an estimation worker")
+	case errors.As(err, &matchErr):
+		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("map matching failed: %v", matchErr.Err))
+	case errors.Is(err, infer.ErrInvalidInput):
+		writeError(w, http.StatusBadRequest, "invalid OD input")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; the status is for the access log.
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("estimation failed: %v", err))
+	}
+}
+
+// handleVersion reports what is serving: build info resolved from the
+// binary plus the live-model fields from Config.Version (snapshot hash,
+// generation, engine tuning) — so operators can tell which checkpoint is
+// live after a /reload or SIGHUP.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	body := map[string]any{
+		"city": s.cfg.City,
+		"go":   runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		body["module"] = bi.Main.Path
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			body["module_version"] = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				body["vcs_revision"] = kv.Value
+			case "vcs.time":
+				body["vcs_time"] = kv.Value
+			case "vcs.modified":
+				body["vcs_modified"] = kv.Value
+			}
+		}
+	}
+	if s.cfg.Version != nil {
+		for k, v := range s.cfg.Version() {
+			body[k] = v
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReload triggers a hot model swap via Config.Reload.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cfg.Reload == nil {
+		writeError(w, http.StatusNotImplemented, "reload is not wired on this server")
+		return
+	}
+	meta, err := s.cfg.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload failed: %v", err))
+		return
+	}
+	body := map[string]any{"reloaded": true}
+	for k, v := range meta {
+		body[k] = v
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

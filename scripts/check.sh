@@ -23,6 +23,10 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/...
+go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/...
+go test -race -run 'ConcurrentSafe' ./internal/core/
+
+echo "== bench smoke (internal/infer)"
+go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
 
 echo "ok"
