@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt bench servebench
+.PHONY: build test check race fmt bench tracebench servebench
 
 build:
 	go build ./...
@@ -12,14 +12,18 @@ check:
 	./scripts/check.sh
 
 race:
-	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/...
-	go test -race -run 'ConcurrentSafe' ./internal/core/
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/...
+	go test -race -run 'ConcurrentSafe|Trace' ./internal/core/
 
 fmt:
 	gofmt -w .
 
 bench:
 	go test -run '^$$' -bench=. ./internal/infer/
+
+tracebench:
+	go test -run 'TestUntracedSpanOverhead' -v ./internal/obs/
+	go test -run '^$$' -bench 'BenchmarkSpan|BenchmarkTraceStoreOffer' ./internal/obs/
 
 servebench:
 	go run ./cmd/ttebench -servebench

@@ -74,8 +74,8 @@ func runServeBench(o serveBenchOptions) error {
 	if err != nil {
 		return err
 	}
-	match := func(od traj.ODInput) (traj.MatchedOD, error) {
-		return deepod.MatchOD(matcher, od)
+	match := func(ctx context.Context, od traj.ODInput) (traj.MatchedOD, error) {
+		return deepod.MatchODCtx(ctx, matcher, od)
 	}
 
 	// The workload: a fixed set of on-network OD pairs cycled by every
@@ -118,12 +118,12 @@ func runServeBench(o serveBenchOptions) error {
 		})
 	}
 
-	direct := func(_ context.Context, od traj.ODInput) (infer.Result, error) {
-		matched, err := match(od)
+	direct := func(ctx context.Context, od traj.ODInput) (infer.Result, error) {
+		matched, err := match(ctx, od)
 		if err != nil {
 			return infer.Result{}, err
 		}
-		return infer.Result{Seconds: m.Estimate(&matched)}, nil
+		return infer.Result{Seconds: m.EstimateCtx(ctx, &matched)}, nil
 	}
 
 	run := func(name string, do func(context.Context, traj.ODInput) (infer.Result, error), eng *infer.Engine) serveBenchMode {

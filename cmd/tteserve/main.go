@@ -11,10 +11,18 @@
 //	{"origin":{"X":500,"Y":700},"dest":{"X":1900,"Y":2100},"depart_sec":36000}
 //	→ {"travel_seconds":412.7,"travel_human":"6m52s","model":"8c7e12ab90ff"}
 //
-//	GET  /healthz → {"status":"ok", ...}
-//	GET  /version → live model snapshot hash, engine config, build info
-//	POST /reload  → re-read -model from disk and atomically swap it in
-//	GET  /metrics → Prometheus text exposition (see README "Observability")
+//	GET  /healthz      → {"status":"ok", ...} (liveness)
+//	GET  /readyz       → 200 when serving, 503 while not ready (readiness)
+//	GET  /version      → live model snapshot hash, engine config, build info
+//	POST /reload       → re-read -model from disk and atomically swap it in
+//	GET  /metrics      → Prometheus text exposition (see README "Observability")
+//	GET  /debug/traces → tail-sampled request traces as JSON
+//
+// Every request is traced: the trace ID is taken from X-Trace-Id (or
+// generated), echoed in the response, stamped on every log line, and the
+// slowest / errored traces are retained at /debug/traces. Logging is
+// structured (log/slog): error responses always log, success access logs
+// are sampled with -log-every.
 //
 // SIGHUP triggers the same reload as POST /reload. Errors are JSON:
 // {"error": "..."}. With -debug-addr, net/http/pprof is served on a
@@ -26,7 +34,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -43,8 +51,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tteserve: ")
 	var (
 		city      = flag.String("city", "chengdu-s", "city preset")
 		orders    = flag.Int("orders", 1200, "orders used if training at startup")
@@ -54,7 +60,8 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum /estimate body bytes")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain timeout")
-		logReq    = flag.Bool("log-requests", true, "log one line per request")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logEvery  = flag.Int("log-every", 1, "sample success access logs: log every Nth 2xx/3xx request (errors always log)")
 		logSpans  = flag.Bool("log-spans", false, "log every pipeline span (verbose)")
 
 		direct       = flag.Bool("direct", false, "bypass the inference engine: one synchronous match+estimate per request")
@@ -65,35 +72,56 @@ func main() {
 		cacheEntries = flag.Int("cache", 8192, "estimate cache capacity in entries (0 = disabled)")
 		cacheTTL     = flag.Duration("cache-ttl", 5*time.Minute, "estimate cache entry lifetime")
 		cacheCell    = flag.Float64("cache-cell", 250, "spatial quantization cell for cache keys, meters")
+
+		traceCap     = flag.Int("trace-capacity", 512, "retained trace ring-buffer size")
+		traceSlowest = flag.Int("trace-slowest", 16, "always retain the slowest N traces per window")
+		traceWindow  = flag.Duration("trace-window", 10*time.Second, "slowest-N rotation window")
+		traceSample  = flag.Float64("trace-sample", 0.01, "probability of retaining a normal (non-error, non-slow) trace")
+
+		runtimeEvery = flag.Duration("runtime-stats", 10*time.Second, "runtime stats (goroutines, heap, GC) sampling period; 0 disables")
 	)
 	flag.Parse()
 
+	// Structured logging: every line carries trace_id when the context
+	// does, which is how a log line is joined to its /debug/traces entry.
+	var h slog.Handler
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(obs.NewTraceHandler(h)).With("app", "tteserve")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	c, err := deepod.BuildCity(*city, deepod.CityOptions{Orders: *orders, Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building city", err)
 	}
 	var snap *infer.Snapshot
 	if *modelPath != "" {
 		snap, err = infer.LoadCheckpoint(*modelPath, c.Graph)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading checkpoint", err)
 		}
-		log.Printf("loaded model %s from %s", snap.ID, *modelPath)
+		logger.Info("model loaded", "model", snap.ID, "path", *modelPath)
 	} else {
-		log.Printf("training model on %d orders...", *orders)
+		logger.Info("training model at startup", "orders", *orders)
 		cfg := deepod.SmallConfig()
 		m, err := deepod.Train(cfg, c, nil)
 		if err != nil {
-			log.Fatal(err)
+			fatal("startup training", err)
 		}
 		snap = infer.ModelSnapshot(fmt.Sprintf("startup-train-seed%d", *seed), m)
 	}
 	matcher, err := deepod.NewMatcher(c.Graph)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building matcher", err)
 	}
-	match := func(od traj.ODInput) (traj.MatchedOD, error) {
-		return deepod.MatchOD(matcher, od)
+	match := func(ctx context.Context, od traj.ODInput) (traj.MatchedOD, error) {
+		return deepod.MatchODCtx(ctx, matcher, od)
 	}
 
 	if *logSpans {
@@ -101,13 +129,28 @@ func main() {
 			if parent != "" {
 				name = parent + ">" + name
 			}
-			log.Printf("span %s %s", name, d.Round(time.Microsecond))
+			logger.Debug("span", "span", name, "dur", d.Round(time.Microsecond))
 		})
+		// Span logging is Debug-level; re-build the logger so it shows.
+		opts := &slog.HandlerOptions{Level: slog.LevelDebug}
+		if *logJSON {
+			h = slog.NewJSONHandler(os.Stderr, opts)
+		} else {
+			h = slog.NewTextHandler(os.Stderr, opts)
+		}
+		logger = slog.New(obs.NewTraceHandler(h)).With("app", "tteserve")
 	}
-	var logf obs.Logf
-	if *logReq {
-		logf = log.Printf
+
+	if *runtimeEvery > 0 {
+		stopRuntime := obs.StartRuntimeStats(nil, *runtimeEvery)
+		defer stopRuntime()
 	}
+	traces := obs.NewTraceStore(nil, obs.TraceStoreConfig{
+		Capacity:   *traceCap,
+		SlowestN:   *traceSlowest,
+		Window:     *traceWindow,
+		SampleRate: *traceSample,
+	})
 
 	bounds := c.Graph.Bounds()
 	scfg := serve.Config{
@@ -117,19 +160,21 @@ func main() {
 			"edges": c.Graph.NumEdges(),
 			"model": snap.ID,
 		},
-		MaxBodyBytes: *maxBody,
-		Logf:         logf,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+		AccessLogEvery: *logEvery,
+		Traces:         traces,
 	}
 
 	scfg.External = c.Grid.External
 	if *direct {
-		log.Printf("engine disabled (-direct): serving synchronous per-request path")
+		logger.Info("engine disabled (-direct): serving synchronous per-request path")
 		scfg.Match = match
 		scfg.Estimate = snap.Estimate
 	} else {
 		cells, err := roadnet.NewEdgeIndex(c.Graph, *cacheCell)
 		if err != nil {
-			log.Fatal(err)
+			fatal("building cache quantizer", err)
 		}
 		eng, err := infer.New(infer.Config{
 			Match:        match,
@@ -144,25 +189,28 @@ func main() {
 			Slotter:      snap.Slotter,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("building engine", err)
 		}
 		defer eng.Close()
 		scfg.Infer = eng.Do
 		scfg.Version = eng.Version
+		scfg.Ready = eng.Readiness
 
-		reload := func() (map[string]any, error) {
+		reload := func(ctx context.Context) (map[string]any, error) {
 			if *modelPath == "" {
 				return nil, fmt.Errorf("server was started without -model; nothing to reload from")
 			}
-			next, err := infer.LoadCheckpoint(*modelPath, c.Graph)
+			next, err := infer.LoadCheckpointCtx(ctx, *modelPath, c.Graph)
 			if err != nil {
+				eng.RecordReloadFailure(err)
 				return nil, err
 			}
-			prev, err := eng.Swap(next)
+			prev, err := eng.SwapCtx(ctx, next)
 			if err != nil {
+				eng.RecordReloadFailure(err)
 				return nil, err
 			}
-			log.Printf("reloaded model %s (was %s)", next.ID, prev.ID)
+			logger.InfoContext(ctx, "model reloaded", "model", next.ID, "previous", prev.ID)
 			return map[string]any{"model": next.ID, "previous": prev.ID}, nil
 		}
 		scfg.Reload = reload
@@ -171,18 +219,24 @@ func main() {
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
 			for range hup {
-				if _, err := reload(); err != nil {
-					log.Printf("SIGHUP reload: %v", err)
+				if _, err := reload(context.Background()); err != nil {
+					logger.Error("SIGHUP reload failed", "err", err)
 				}
 			}
 		}()
-		log.Printf("engine: %d workers, queue %d, batch %d, cache %d entries (TTL %s, cell %.0fm)",
-			eng.Version()["workers"], *queueDepth, *maxBatch, *cacheEntries, *cacheTTL, *cacheCell)
+		logger.Info("engine ready",
+			"workers", eng.Version()["workers"],
+			"queue", *queueDepth,
+			"batch", *maxBatch,
+			"cache_entries", *cacheEntries,
+			"cache_ttl", *cacheTTL,
+			"cache_cell_m", *cacheCell,
+		)
 	}
 
 	srv, err := serve.New(scfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building server", err)
 	}
 
 	if *debugAddr != "" {
@@ -194,9 +248,9 @@ func main() {
 			dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 			dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
-			log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", *debugAddr))
 			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("pprof server: %v", err)
+				logger.Error("pprof server", "err", err)
 			}
 		}()
 	}
@@ -204,9 +258,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	hsrv := serve.NewHTTPServer(*addr, srv.Handler())
-	log.Printf("serving %s on %s (metrics at /metrics)", *city, *addr)
-	if err := serve.ListenAndServe(ctx, hsrv, *grace, log.Printf); err != nil {
-		log.Fatal(err)
+	logger.Info("serving", "city", *city, "addr", *addr, "metrics", "/metrics", "traces", "/debug/traces")
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+	if err := serve.ListenAndServe(ctx, hsrv, *grace, logf); err != nil {
+		fatal("server", err)
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

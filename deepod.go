@@ -18,6 +18,7 @@
 package deepod
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -222,11 +223,17 @@ func NewMatcher(g *Graph) (*mapmatch.Matcher, error) {
 // MatchOD snaps an OD input's endpoints to road segments, producing the
 // MatchedOD representation the models consume.
 func MatchOD(m *mapmatch.Matcher, od ODInput) (MatchedOD, error) {
-	oe, of, err := m.MatchPoint(od.Origin)
+	return MatchODCtx(context.Background(), m, od)
+}
+
+// MatchODCtx is MatchOD with trace context: inside a traced request the
+// two mapmatch.point spans join the request's span tree.
+func MatchODCtx(ctx context.Context, m *mapmatch.Matcher, od ODInput) (MatchedOD, error) {
+	oe, of, err := m.MatchPointCtx(ctx, od.Origin)
 	if err != nil {
 		return MatchedOD{}, fmt.Errorf("deepod: matching origin: %w", err)
 	}
-	de, df, err := m.MatchPoint(od.Dest)
+	de, df, err := m.MatchPointCtx(ctx, od.Dest)
 	if err != nil {
 		return MatchedOD{}, fmt.Errorf("deepod: matching destination: %w", err)
 	}

@@ -4,10 +4,11 @@ import (
 	"deepod/internal/obs"
 )
 
-// Training and estimation metrics (see the obs package doc for the full
-// naming scheme). Resolved once at init so the hot loops touch only
-// atomics: Train observes per-step phase durations, Estimate observes the
-// online pipeline's encode/estimate stages.
+// Training metrics (see the obs package doc for the full naming scheme).
+// Resolved once at init so the hot loops touch only atomics: Train
+// observes per-step phase durations. The online encode/estimate stages
+// are obs spans (EstimateCtx), so they both feed tte_span_seconds and
+// join request traces.
 var (
 	embedPhaseHist    = obs.Default().Histogram("tte_train_phase_seconds", obs.DefBuckets, "phase", "embed_pretrain")
 	forwardPhaseHist  = obs.Default().Histogram("tte_train_phase_seconds", obs.DefBuckets, "phase", "forward")
@@ -15,8 +16,6 @@ var (
 	evalPhaseHist     = obs.Default().Histogram("tte_train_phase_seconds", obs.DefBuckets, "phase", "eval")
 	trainEpochGauge   = obs.Default().Gauge("tte_train_epoch")
 	trainSamplesTotal = obs.Default().Counter("tte_train_samples_total")
-	encodeStageHist   = obs.Default().Histogram(obs.SpanFamily, obs.DefBuckets, "span", "encode")
-	estimateStageHist = obs.Default().Histogram(obs.SpanFamily, obs.DefBuckets, "span", "estimate")
 )
 
 func init() {

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"deepod/internal/obs"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+// TestEstimateSpansJoinTrace checks the online-estimation stages surface
+// as spans in a request trace: estimate_batch under the caller's span,
+// with each trip's encode and estimate stages under the batch.
+func TestEstimateSpansJoinTrace(t *testing.T) {
+	gcfg := roadnet.SmallCity("trace", 3)
+	gcfg.Rows, gcfg.Cols = 4, 4
+	g, err := roadnet.GenerateCity(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(tinyConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ods := []traj.MatchedOD{
+		{OriginEdge: 0, DestEdge: roadnet.EdgeID(g.NumEdges() - 1), RStart: 0.2, REnd: 0.3, DepartSec: 600},
+		{OriginEdge: 1, DestEdge: 2, RStart: 0.5, REnd: 0.5, DepartSec: 1200},
+	}
+
+	ctx, tr := obs.StartTrace(context.Background(), "core-estimate", "/test")
+	rctx, root := obs.StartSpan(ctx, "root")
+	secs := m.EstimateBatchCtx(rctx, ods)
+	d := root.End()
+	if len(secs) != 2 {
+		t.Fatalf("EstimateBatchCtx returned %d estimates", len(secs))
+	}
+	for i, sec := range secs {
+		if sec < 0 {
+			t.Fatalf("estimate %d = %v, want non-negative", i, sec)
+		}
+	}
+
+	ts := obs.NewTraceStore(obs.NewRegistry(), obs.TraceStoreConfig{SlowestN: -1, SampleRate: 1, Seed: 1})
+	if kept, _ := ts.Offer(tr, d); !kept {
+		t.Fatal("trace not retained at SampleRate=1")
+	}
+	rec := ts.Traces(obs.TraceFilter{})[0]
+
+	// Expected tree: root → estimate_batch → (encode, estimate) × 2.
+	if len(rec.Spans) != 6 {
+		t.Fatalf("got %d spans, want 6: %+v", len(rec.Spans), rec.Spans)
+	}
+	if rec.Spans[0].Name != "root" || rec.Spans[0].Parent != -1 {
+		t.Fatalf("span 0 = %+v, want root", rec.Spans[0])
+	}
+	if rec.Spans[1].Name != "estimate_batch" || rec.Spans[1].Parent != 0 {
+		t.Fatalf("span 1 = %+v, want estimate_batch under root", rec.Spans[1])
+	}
+	for i, want := range []string{"encode", "estimate", "encode", "estimate"} {
+		sp := rec.Spans[2+i]
+		if sp.Name != want || sp.Parent != 1 {
+			t.Fatalf("span %d = %+v, want %s under estimate_batch", 2+i, sp, want)
+		}
+	}
+	var count any
+	for _, a := range rec.Spans[1].Attrs {
+		if a.Key == "count" {
+			count = a.Value
+		}
+	}
+	if count != 2 {
+		t.Fatalf("estimate_batch count attr = %v, want 2", count)
+	}
+}

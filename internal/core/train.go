@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"deepod/internal/embed"
 	"deepod/internal/metrics"
 	"deepod/internal/nn"
+	"deepod/internal/obs"
 	"deepod/internal/roadnet"
 	"deepod/internal/tensor"
 	"deepod/internal/traj"
@@ -284,13 +286,21 @@ func (m *Model) runEmbed(g embed.Graph, dim int, rng *rand.Rand) (*tensor.Tensor
 // with M_O and decode the travel time with M_E. The result is in seconds.
 // The two stages record into tte_span_seconds{span="encode"|"estimate"}.
 func (m *Model) Estimate(od *traj.MatchedOD) float64 {
-	start := time.Now()
+	return m.EstimateCtx(context.Background(), od)
+}
+
+// EstimateCtx is Estimate with trace context: when ctx carries a trace
+// (a request through internal/serve and internal/infer), the encode and
+// estimate stages appear as sibling child spans in the request's tree.
+// The aggregate histograms are recorded either way.
+func (m *Model) EstimateCtx(ctx context.Context, od *traj.MatchedOD) float64 {
+	_, encSpan := obs.StartSpan(ctx, "encode")
 	tp := nn.NewEvalTape()
 	code := m.encodeOD(tp, od)
-	mid := time.Now()
-	encodeStageHist.Observe(mid.Sub(start).Seconds())
+	encSpan.End()
+	_, estSpan := obs.StartSpan(ctx, "estimate")
 	y := m.estMLP.Forward(tp, code)
-	estimateStageHist.Observe(time.Since(mid).Seconds())
+	estSpan.End()
 	sec := y.Value.Data[0] * m.timeScale
 	if sec < 0 {
 		sec = 0
@@ -300,9 +310,19 @@ func (m *Model) Estimate(od *traj.MatchedOD) float64 {
 
 // EstimateBatch estimates many OD inputs (Table 5 times 1000 of these).
 func (m *Model) EstimateBatch(ods []traj.MatchedOD) []float64 {
+	return m.EstimateBatchCtx(context.Background(), ods)
+}
+
+// EstimateBatchCtx is EstimateBatch with trace context: the batch becomes
+// an "estimate_batch" span (with a count attribute) whose children are the
+// per-trip encode/estimate stages.
+func (m *Model) EstimateBatchCtx(ctx context.Context, ods []traj.MatchedOD) []float64 {
+	bctx, span := obs.StartSpan(ctx, "estimate_batch")
+	span.SetInt("count", len(ods))
+	defer span.End()
 	out := make([]float64, len(ods))
 	for i := range ods {
-		out[i] = m.Estimate(&ods[i])
+		out[i] = m.EstimateCtx(bctx, &ods[i])
 	}
 	return out
 }

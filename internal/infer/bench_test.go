@@ -16,7 +16,7 @@ import (
 // for a model forward pass so the benchmarks compare serving overheads
 // (queueing, batching, caching) against a realistic per-request cost
 // without building a road network.
-func benchEstimate(m *traj.MatchedOD) float64 {
+func benchEstimate(_ context.Context, m *traj.MatchedOD) float64 {
 	x := 1.0 + m.DepartSec
 	for i := 0; i < 2000; i++ {
 		x += 1.0 / x
@@ -61,15 +61,16 @@ func benchEngine(b *testing.B, cacheEntries int) *Engine {
 func BenchmarkDirect(b *testing.B) {
 	ods := benchWorkload(64)
 	var next atomic.Int64
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			in := ods[int(next.Add(1))%len(ods)]
-			matched, err := okMatch(in)
+			matched, err := okMatch(ctx, in)
 			if err != nil {
 				b.Fatal(err)
 			}
-			benchEstimate(&matched)
+			benchEstimate(ctx, &matched)
 		}
 	})
 }

@@ -78,8 +78,11 @@ type Quantizer interface {
 type Config struct {
 	// Match snaps an OD input onto road segments. Required. It is called
 	// from worker goroutines and must be safe for concurrent use
-	// (mapmatch.Matcher.MatchPoint is read-only after construction).
-	Match func(traj.ODInput) (traj.MatchedOD, error)
+	// (mapmatch.Matcher.MatchPoint is read-only after construction). The
+	// context is the requesting caller's — it carries the trace so match
+	// spans land in the right tree; Match should not treat its cancellation
+	// as fatal mid-batch.
+	Match func(ctx context.Context, od traj.ODInput) (traj.MatchedOD, error)
 	// Snapshot is the initial serving model. Required.
 	Snapshot *Snapshot
 
@@ -146,6 +149,13 @@ type outcome struct {
 type job struct {
 	od       traj.ODInput
 	enqueued time.Time
+	// ctx is the requesting caller's context; it carries the trace so the
+	// worker's batch/match/model spans join the request's tree.
+	ctx context.Context
+	// qspan is the request's "infer.queue" span, started at admission and
+	// ended by whichever side resolves the job first: the worker at pickup
+	// or the caller on shed/abandon (Span.End is first-wins).
+	qspan *obs.Span
 	// picked is set by the worker taking the job; abandoned by a caller
 	// that gave up. The pair resolves the shed-vs-serve race: a worker
 	// skips abandoned jobs, and a caller whose queue timer fires after
@@ -166,6 +176,11 @@ type Engine struct {
 	gen   atomic.Uint64
 	queue chan *job
 	cache *estimateCache
+
+	// reloadErr holds the message of the most recent failed reload attempt
+	// (RecordReloadFailure); a successful Swap clears it. /readyz reports
+	// 503 while it is set.
+	reloadErr atomic.Pointer[string]
 
 	mu     sync.RWMutex // guards closed against concurrent enqueue
 	closed bool
@@ -263,13 +278,71 @@ func (e *Engine) install(snap *Snapshot) {
 // produced by the previous model become invisible immediately (generation
 // mismatch) and are dropped lazily on lookup.
 func (e *Engine) Swap(snap *Snapshot) (previous *Snapshot, err error) {
+	return e.SwapCtx(context.Background(), snap)
+}
+
+// SwapCtx is Swap with trace context: the reload is recorded as an
+// "infer.reload" span carrying the old and new snapshot IDs. A successful
+// swap clears any failed-reload state (see RecordReloadFailure).
+func (e *Engine) SwapCtx(ctx context.Context, snap *Snapshot) (previous *Snapshot, err error) {
+	_, span := e.reg.StartSpan(ctx, "infer.reload")
+	defer span.End()
 	if snap == nil || snap.Estimate == nil {
-		return nil, fmt.Errorf("infer: Swap needs a snapshot with an Estimate func")
+		err = fmt.Errorf("infer: Swap needs a snapshot with an Estimate func")
+		span.Fail(err)
+		return nil, err
 	}
 	old := e.cur.Load()
 	e.install(snap)
+	e.reloadErr.Store(nil)
 	e.reloads.Inc()
+	span.SetStr("snapshot", snap.ID)
+	span.SetStr("previous", old.snap.ID)
 	return old.snap, nil
+}
+
+// RecordReloadFailure marks the engine as being in a failed-reload state:
+// /readyz answers 503 until the next successful Swap. Call it when a
+// checkpoint load or swap attempt fails so orchestrators stop routing new
+// traffic to a replica that can no longer follow model rollouts. A nil err
+// is ignored.
+func (e *Engine) RecordReloadFailure(err error) {
+	if err == nil {
+		return
+	}
+	msg := err.Error()
+	e.reloadErr.Store(&msg)
+}
+
+// Readiness reports whether the engine should receive traffic, with a
+// detail payload for /readyz: the serving checkpoint hash, queue depth and
+// capacity, and — when not ready — the reason.
+func (e *Engine) Readiness() (bool, map[string]any) {
+	detail := map[string]any{
+		"queue_len":      len(e.queue),
+		"queue_capacity": e.cfg.QueueDepth,
+	}
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	inst := e.cur.Load()
+	ready := true
+	switch {
+	case closed:
+		ready = false
+		detail["reason"] = "engine closed"
+	case inst == nil || inst.snap == nil:
+		ready = false
+		detail["reason"] = "no model snapshot loaded"
+	default:
+		detail["model"] = inst.snap.ID
+	}
+	if msg := e.reloadErr.Load(); msg != nil {
+		ready = false
+		detail["reason"] = "last reload failed"
+		detail["last_reload_error"] = *msg
+	}
+	return ready, detail
 }
 
 // Snapshot returns the currently serving snapshot.
@@ -346,22 +419,33 @@ func (e *Engine) keyOf(od traj.ODInput) cacheKey {
 // Do serves one estimate: cache lookup, admission, then a worker batch
 // answers it. It returns ErrOverloaded / ErrQueueTimeout when shed, a
 // *MatchError when the OD cannot be snapped to the network, or the
-// context's error if the caller gave up first.
+// context's error if the caller gave up first. When ctx carries a trace,
+// every stage shows up as a span: infer.cache (hit attr), infer.queue
+// (depth, wait, shed reason), and the worker-side infer.batch /
+// infer.match / infer.model tree.
 func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
 	if err := validate(od); err != nil {
 		return Result{}, err
 	}
 	inst := e.cur.Load()
 	if e.cache != nil {
-		if sec, ok := e.cache.get(e.keyOf(od), inst.gen, e.now()); ok {
+		_, cspan := e.reg.StartSpan(ctx, "infer.cache")
+		sec, ok := e.cache.get(e.keyOf(od), inst.gen, e.now())
+		cspan.SetBool("hit", ok)
+		cspan.End()
+		if ok {
 			return Result{Seconds: sec, Cached: true, SnapshotID: inst.snap.ID}, nil
 		}
 	}
 
-	j := &job{od: od, enqueued: e.now(), done: make(chan outcome, 1)}
+	_, qspan := e.reg.StartSpan(ctx, "infer.queue")
+	qspan.SetInt("queue_depth", len(e.queue))
+	j := &job{od: od, enqueued: e.now(), ctx: ctx, qspan: qspan, done: make(chan outcome, 1)}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
+		qspan.Fail(ErrClosed)
+		qspan.End()
 		return Result{}, ErrClosed
 	}
 	select {
@@ -371,6 +455,9 @@ func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
 	default:
 		e.mu.RUnlock()
 		e.shedFull.Inc()
+		qspan.SetStr("shed", "queue_full")
+		qspan.Fail(ErrOverloaded)
+		qspan.End()
 		return Result{}, ErrOverloaded
 	}
 
@@ -381,11 +468,16 @@ func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
 		return out.result()
 	case <-ctx.Done():
 		j.abandoned.Store(true)
+		qspan.SetStr("shed", "abandoned")
+		qspan.End()
 		return Result{}, ctx.Err()
 	case <-timer.C:
 		if !j.picked.Load() {
 			j.abandoned.Store(true)
 			e.shedTimeout.Inc()
+			qspan.SetStr("shed", "queue_timeout")
+			qspan.Fail(ErrQueueTimeout)
+			qspan.End()
 			return Result{}, ErrQueueTimeout
 		}
 		// A worker took the job just in time: the timeout only bounds
@@ -432,23 +524,37 @@ func (e *Engine) worker() {
 		inst := e.cur.Load()
 		now := e.now()
 		for _, j := range batch {
-			e.queueWait.Observe(now.Sub(j.enqueued).Seconds())
+			wait := now.Sub(j.enqueued)
+			e.queueWait.Observe(wait.Seconds())
+			j.qspan.SetFloat("wait_ms", float64(wait)/float64(time.Millisecond))
+			j.qspan.End()
 			j.picked.Store(true)
 			if j.abandoned.Load() {
 				continue // caller already answered 503/ctx error
 			}
-			matched, err := e.cfg.Match(j.od)
+			bctx, bspan := e.reg.StartSpan(j.ctx, "infer.batch")
+			bspan.SetInt("batch_size", len(batch))
+			bspan.SetStr("snapshot", inst.snap.ID)
+			mctx, mspan := e.reg.StartSpan(bctx, "infer.match")
+			matched, err := e.cfg.Match(mctx, j.od)
 			if err != nil {
+				mspan.Fail(err)
+				mspan.End()
+				bspan.End()
 				j.done <- outcome{err: &MatchError{Err: err}}
 				continue
 			}
-			sec := inst.snap.Estimate(&matched)
+			mspan.End()
+			ectx, espan := e.reg.StartSpan(bctx, "infer.model")
+			sec := inst.snap.Estimate(ectx, &matched)
+			espan.End()
 			if e.cache != nil {
 				// Tagged with the batch's generation: if a Swap landed
 				// mid-batch this entry is already stale and will never
 				// be served.
 				e.cache.put(e.keyOf(j.od), sec, inst.gen, e.now())
 			}
+			bspan.End()
 			j.done <- outcome{sec: sec, snapID: inst.snap.ID}
 		}
 	}

@@ -26,12 +26,12 @@ func (gridQuantizer) CellIndex(p geo.Point) int {
 func constSnapshot(id string, sec float64) *Snapshot {
 	return &Snapshot{
 		ID:       id,
-		Estimate: func(*traj.MatchedOD) float64 { return sec },
+		Estimate: func(context.Context, *traj.MatchedOD) float64 { return sec },
 	}
 }
 
 // okMatch matches everything, carrying the departure through.
-func okMatch(od traj.ODInput) (traj.MatchedOD, error) {
+func okMatch(_ context.Context, od traj.ODInput) (traj.MatchedOD, error) {
 	return traj.MatchedOD{DepartSec: od.DepartSec}, nil
 }
 
@@ -119,7 +119,7 @@ func TestInvalidInputRejected(t *testing.T) {
 func TestMatchFailureIsMatchError(t *testing.T) {
 	cfg := testConfig(t, constSnapshot("m1", 1))
 	sentinel := errors.New("no segment")
-	cfg.Match = func(traj.ODInput) (traj.MatchedOD, error) { return traj.MatchedOD{}, sentinel }
+	cfg.Match = func(context.Context, traj.ODInput) (traj.MatchedOD, error) { return traj.MatchedOD{}, sentinel }
 	e := newTestEngine(t, cfg)
 	_, err := e.Do(context.Background(), od(1, 1, 5, 5, 0))
 	var matchErr *MatchError
@@ -136,7 +136,7 @@ func blockingEngine(t *testing.T, queueDepth int, timeout time.Duration) (e *Eng
 	started = make(chan struct{}, 16)
 	snap := &Snapshot{
 		ID: "blocking",
-		Estimate: func(*traj.MatchedOD) float64 {
+		Estimate: func(context.Context, *traj.MatchedOD) float64 {
 			started <- struct{}{}
 			<-gate
 			return 7

@@ -2,6 +2,7 @@ package infer
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"deepod/internal/core"
+	"deepod/internal/obs"
 	"deepod/internal/roadnet"
 	"deepod/internal/timeslot"
 	"deepod/internal/traj"
@@ -24,8 +26,9 @@ type Snapshot struct {
 	ID string
 	// Estimate answers a matched OD on this snapshot's weights. It must be
 	// safe for concurrent callers (core.Model.Estimate is; see the -race
-	// test in internal/core).
-	Estimate func(*traj.MatchedOD) float64
+	// test in internal/core). The context carries the request's trace so
+	// model-internal spans (encode, estimate) join the request tree.
+	Estimate func(ctx context.Context, od *traj.MatchedOD) float64
 	// Meta carries operator-facing facts merged into /version output
 	// (weight count, checkpoint path, ...).
 	Meta map[string]any
@@ -40,7 +43,7 @@ type Snapshot struct {
 func ModelSnapshot(id string, m *core.Model) *Snapshot {
 	return &Snapshot{
 		ID:       id,
-		Estimate: m.Estimate,
+		Estimate: m.EstimateCtx,
 		Meta: map[string]any{
 			"weights": m.NumWeights(),
 			"edges":   m.Graph().NumEdges(),
@@ -55,16 +58,32 @@ func ModelSnapshot(id string, m *core.Model) *Snapshot {
 // count) and returns a snapshot whose ID is the first 12 hex digits of the
 // file's SHA-256 — so /version answers exactly which bytes are serving.
 func LoadCheckpoint(path string, g *roadnet.Graph) (*Snapshot, error) {
+	return LoadCheckpointCtx(context.Background(), path, g)
+}
+
+// LoadCheckpointCtx is LoadCheckpoint with trace context: the load is
+// recorded as an "infer.snapshot_load" span carrying the checkpoint path
+// and resulting hash, so reload traces show how long the disk read and
+// weight validation took.
+func LoadCheckpointCtx(ctx context.Context, path string, g *roadnet.Graph) (*Snapshot, error) {
+	_, span := obs.StartSpan(ctx, "infer.snapshot_load")
+	defer span.End()
+	span.SetStr("checkpoint", path)
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("infer: reading checkpoint: %w", err)
+		err = fmt.Errorf("infer: reading checkpoint: %w", err)
+		span.Fail(err)
+		return nil, err
 	}
 	sum := sha256.Sum256(b)
 	m, err := core.Load(bytes.NewReader(b), g)
 	if err != nil {
-		return nil, fmt.Errorf("infer: loading checkpoint %s: %w", path, err)
+		err = fmt.Errorf("infer: loading checkpoint %s: %w", path, err)
+		span.Fail(err)
+		return nil, err
 	}
 	s := ModelSnapshot(hex.EncodeToString(sum[:])[:12], m)
 	s.Meta["checkpoint"] = path
+	span.SetStr("snapshot", s.ID)
 	return s, nil
 }

@@ -13,6 +13,7 @@
 package mapmatch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -68,7 +69,13 @@ func New(g *roadnet.Graph, cfg Config) (*Matcher, error) {
 // MatchPoint snaps a single point (an OD endpoint) to its best road
 // segment, returning the segment and the fraction along it.
 func (m *Matcher) MatchPoint(p geo.Point) (roadnet.EdgeID, float64, error) {
-	defer obs.Time("mapmatch.point")()
+	return m.MatchPointCtx(context.Background(), p)
+}
+
+// MatchPointCtx is MatchPoint with trace context, so the mapmatch.point
+// span keeps its parent link inside a traced request.
+func (m *Matcher) MatchPointCtx(ctx context.Context, p geo.Point) (roadnet.EdgeID, float64, error) {
+	defer obs.TimeCtx(ctx, "mapmatch.point")()
 	c, err := m.idx.NearestEdge(p)
 	if err != nil {
 		return 0, 0, err
@@ -79,15 +86,22 @@ func (m *Matcher) MatchPoint(p geo.Point) (roadnet.EdgeID, float64, error) {
 // Match aligns a raw trajectory to the network and returns the paper's
 // trajectory representation (spatio-temporal path + position ratios).
 func (m *Matcher) Match(raw *traj.Raw) (traj.Trajectory, error) {
-	defer obs.Time("mapmatch.match")()
+	return m.MatchCtx(context.Background(), raw)
+}
+
+// MatchCtx is Match with trace context: the mapmatch.match span and its
+// viterbi/assemble children join the caller's trace.
+func (m *Matcher) MatchCtx(ctx context.Context, raw *traj.Raw) (traj.Trajectory, error) {
+	mctx, span := obs.StartSpan(ctx, "mapmatch.match")
+	defer span.End()
 	if err := raw.Validate(); err != nil {
 		return traj.Trajectory{}, err
 	}
-	states, err := m.viterbi(raw.Points)
+	states, err := m.viterbi(mctx, raw.Points)
 	if err != nil {
 		return traj.Trajectory{}, err
 	}
-	return m.assemble(raw.Points, states)
+	return m.assemble(mctx, raw.Points, states)
 }
 
 type candState struct {
@@ -101,8 +115,8 @@ type candState struct {
 }
 
 // viterbi returns one candidate per GPS point.
-func (m *Matcher) viterbi(pts []traj.GPSPoint) ([]roadnet.Candidate, error) {
-	defer obs.Time("mapmatch.viterbi")()
+func (m *Matcher) viterbi(ctx context.Context, pts []traj.GPSPoint) ([]roadnet.Candidate, error) {
+	defer obs.TimeCtx(ctx, "mapmatch.viterbi")()
 	sigma2 := 2 * m.cfg.SigmaMeters * m.cfg.SigmaMeters
 	prevStates := []candState{}
 	allStates := make([][]candState, len(pts))
@@ -194,8 +208,8 @@ func (m *Matcher) routeBetween(a, b roadnet.Candidate) ([]roadnet.EdgeID, float6
 
 // assemble stitches the chosen candidates into a connected edge sequence
 // with linearly interpolated per-segment time intervals.
-func (m *Matcher) assemble(pts []traj.GPSPoint, chosen []roadnet.Candidate) (traj.Trajectory, error) {
-	defer obs.Time("mapmatch.assemble")()
+func (m *Matcher) assemble(ctx context.Context, pts []traj.GPSPoint, chosen []roadnet.Candidate) (traj.Trajectory, error) {
+	defer obs.TimeCtx(ctx, "mapmatch.assemble")()
 	// Build the full edge sequence with, for each edge, the (time, frac)
 	// anchor points we know from GPS samples.
 	type anchor struct {

@@ -1,25 +1,56 @@
 package obs
 
 import (
+	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
 // Logf is a printf-style logging hook (log.Printf-compatible).
 type Logf func(format string, args ...any)
 
-// Instrument wraps h with per-route accounting against reg:
+// TraceHeader is the request/response header carrying the trace ID. An
+// incoming value passing ParseTraceID is adopted (so callers and upstream
+// proxies can stitch traces together); otherwise a fresh ID is minted.
+// The ID is always echoed on the response.
+const TraceHeader = "X-Trace-Id"
+
+// Middleware instruments HTTP handlers with per-route metrics and,
+// optionally, request-scoped tracing and structured logging. The zero
+// value plus a Registry reproduces the classic Instrument behaviour.
+type Middleware struct {
+	// Registry receives the request metrics (nil uses the default).
+	Registry *Registry
+	// Logf, when set, emits the legacy one-line request log.
+	Logf Logf
+	// Logger, when set, emits structured request logs: 5xx at Error and
+	// 4xx at Warn on every occurrence, 2xx/3xx at Info sampled by
+	// AccessLogEvery. Lines carry trace_id when Logger's handler is (or
+	// wraps) a TraceHandler.
+	Logger *slog.Logger
+	// AccessLogEvery samples success access logs: only every Nth 2xx/3xx
+	// request per route is logged at Info (<=1 logs all).
+	AccessLogEvery int
+	// Traces enables tracing: each request gets a trace (ID from
+	// X-Trace-Id or generated, echoed in the response), a root span named
+	// after the route, and the finished trace is offered to the store.
+	Traces *TraceStore
+}
+
+// Wrap instruments h with per-route accounting against the registry:
 //
 //	tte_http_requests_total{route,code}  counter (code is the status class)
 //	tte_http_request_seconds{route}      latency histogram
 //	tte_http_in_flight                   gauge across all instrumented routes
 //
-// and, when logf is non-nil, one request log line with method, route,
-// status, bytes written and duration. route should be the mux pattern the
-// handler is registered under — using it (rather than the request path)
-// keeps label cardinality bounded.
-func Instrument(reg *Registry, route string, logf Logf, h http.Handler) http.Handler {
+// plus the tracing and logging configured on the Middleware. route should
+// be the mux pattern the handler is registered under — using it (rather
+// than the request path) keeps label cardinality bounded.
+func (mw Middleware) Wrap(route string, h http.Handler) http.Handler {
+	reg := mw.Registry
 	if reg == nil {
 		reg = Default()
 	}
@@ -28,19 +59,74 @@ func Instrument(reg *Registry, route string, logf Logf, h http.Handler) http.Han
 	reg.Help("tte_http_in_flight", "HTTP requests currently being served.")
 	latency := reg.Histogram("tte_http_request_seconds", DefBuckets, "route", route)
 	inFlight := reg.Gauge("tte_http_in_flight")
+	var accessN atomic.Uint64
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		inFlight.Inc()
 		defer inFlight.Dec()
 		sw := &statusWriter{ResponseWriter: w}
-		h.ServeHTTP(sw, r)
+
+		req := r
+		var tr *Trace
+		var root *Span
+		if mw.Traces != nil {
+			id, ok := ParseTraceID(r.Header.Get(TraceHeader))
+			if !ok {
+				id = NewTraceID()
+			}
+			w.Header().Set(TraceHeader, string(id))
+			ctx, t := StartTrace(r.Context(), id, route)
+			ctx, root = reg.StartSpan(ctx, route)
+			tr = t
+			req = r.WithContext(ctx)
+		}
+
+		h.ServeHTTP(sw, req)
+
 		d := time.Since(start)
 		latency.Observe(d.Seconds())
-		reg.Counter("tte_http_requests_total", "route", route, "code", statusClass(sw.Status())).Inc()
-		if logf != nil {
-			logf("%s %s -> %d (%dB) in %s", r.Method, route, sw.Status(), sw.bytes, d.Round(time.Microsecond))
+		code := sw.Status()
+		reg.Counter("tte_http_requests_total", "route", route, "code", statusClass(code)).Inc()
+		if root != nil {
+			root.SetInt("status", code)
+			root.SetInt("bytes", int(sw.bytes))
+			if code >= 500 {
+				root.Fail(fmt.Errorf("HTTP %d", code))
+			}
+			rd := root.End()
+			mw.Traces.Offer(tr, rd)
+		}
+		if mw.Logf != nil {
+			mw.Logf("%s %s -> %d (%dB) in %s", r.Method, route, code, sw.bytes, d.Round(time.Microsecond))
+		}
+		if mw.Logger != nil {
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.Int("status", code),
+				slog.Int64("bytes", sw.bytes),
+				slog.Float64("dur_ms", float64(d)/float64(time.Millisecond)),
+			}
+			ctx := req.Context()
+			switch {
+			case code >= 500:
+				mw.Logger.LogAttrs(ctx, slog.LevelError, "request", attrs...)
+			case code >= 400:
+				mw.Logger.LogAttrs(ctx, slog.LevelWarn, "request", attrs...)
+			default:
+				if n := mw.AccessLogEvery; n <= 1 || accessN.Add(1)%uint64(n) == 1 {
+					mw.Logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+				}
+			}
 		}
 	})
+}
+
+// Instrument wraps h with per-route accounting and an optional legacy log
+// line — Middleware.Wrap without tracing or structured logging, kept for
+// call sites that predate the trace layer.
+func Instrument(reg *Registry, route string, logf Logf, h http.Handler) http.Handler {
+	return Middleware{Registry: reg, Logf: logf}.Wrap(route, h)
 }
 
 // statusWriter captures the status code and body size written downstream.

@@ -1,9 +1,11 @@
 // Package obs is the stdlib-only observability substrate for the deepod
 // serving and training pipelines: atomic counters, gauges and fixed-bucket
-// histograms collected in a process-global Registry, a lightweight
-// span/timer API for tracing pipeline stages, a Prometheus-text exposition
-// handler for GET /metrics, and HTTP middleware that accounts requests by
-// route and status class.
+// histograms collected in a process-global Registry, a span/trace API for
+// request-scoped diagnosis, a Prometheus-text exposition handler for
+// GET /metrics, HTTP middleware that accounts requests by route and status
+// class, a tail-sampling trace store served at GET /debug/traces, a
+// slog.Handler decorator that stamps log lines with the trace ID, and a
+// runtime stats sampler (goroutines, heap, GC) feeding registry gauges.
 //
 // Everything is safe for concurrent use. Metric mutation is lock-free
 // (atomics); metric creation takes a registry lock once per (name, labels)
@@ -11,6 +13,13 @@
 // *Gauge / *Histogram rather than re-resolving them per event — though
 // re-resolving is only a read-locked map lookup and is fine for
 // request-rate paths.
+//
+// Spans serve two layers at once: every End records into the aggregate
+// tte_span_seconds{span} histogram exactly as before, and when the context
+// carries a Trace (started by the HTTP middleware or StartTrace) the span
+// also joins that request's tree with its parent link, typed attributes
+// and error status. On untraced contexts the attribute setters are no-ops,
+// so instrumented code pays near-zero cost outside a traced request.
 //
 // Metric naming follows the Prometheus conventions: `tte_` prefix,
 // `_total` suffix on counters, `_seconds` on duration histograms. The
@@ -22,15 +31,17 @@
 //	tte_span_seconds{span}                pipeline stage durations
 //	                                      (decode, match, encode, estimate,
 //	                                      mapmatch.viterbi, ...)
+//	tte_trace_completed_total             traces finished (kept or not)
+//	tte_trace_retained_total{reason}      traces kept by tail sampling
 //	tte_train_phase_seconds{phase}        offline-training phase durations
-//	                                      (embed_pretrain, forward,
-//	                                      backward, eval)
 //	tte_train_epoch                       current training epoch
 //	tte_train_samples_total               cumulative training samples
+//	tte_go_*                              process health (see runtime.go)
 package obs
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -51,28 +62,52 @@ type spanCtxKey struct{}
 // StartSpan and finished exactly once with End; End records the duration
 // into the registry histogram tte_span_seconds{span="<name>"} and, if a
 // span logger is installed, emits one structured log line.
+//
+// When the context given to StartSpan carries a Trace, the span is also
+// recorded into that trace's tree: Set* attach typed attributes and Fail
+// marks the span (and trace) errored. On untraced spans those calls are
+// no-ops, so the same instrumentation runs on every request at negligible
+// cost and only traced requests pay for attribute storage.
 type Span struct {
 	name   string
 	parent string
 	start  time.Time
 	hist   *Histogram
 	done   atomic.Bool
+
+	// Trace linkage. trace/index/parentIdx are written by Trace.register
+	// inside StartSpan, before the span is visible to other goroutines;
+	// the mutable fields below are guarded by mu.
+	trace     *Trace
+	index     int
+	parentIdx int
+
+	mu     sync.Mutex
+	dur    time.Duration
+	attrs  []Attr
+	errMsg string
 }
 
 // StartSpan begins a named span recording into reg's tte_span_seconds
 // family. The returned context carries the span so nested StartSpan calls
-// can report their parent in log lines.
+// link to their parent, and — when ctx carries a Trace — the span joins
+// the trace's tree.
 func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	s := &Span{
-		name:  name,
-		start: time.Now(),
-		hist:  r.Histogram(SpanFamily, DefBuckets, "span", name),
+		name:      name,
+		start:     time.Now(),
+		hist:      r.Histogram(SpanFamily, DefBuckets, "span", name),
+		parentIdx: -1,
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
+	p, _ := ctx.Value(spanCtxKey{}).(*Span)
+	if p != nil {
 		s.parent = p.name
+	}
+	if t := TraceFrom(ctx); t != nil {
+		t.register(s, p)
 	}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
@@ -84,13 +119,20 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 
 // End finishes the span, records its duration and returns it. Only the
 // first End takes effect; later calls return the duration since start
-// without recording again.
+// without recording again. Ending from a goroutine other than the starter
+// is fine (the infer queue span is ended by the worker that picks the job
+// up).
 func (s *Span) End() time.Duration {
 	d := time.Since(s.start)
 	if !s.done.CompareAndSwap(false, true) {
 		return d
 	}
 	s.hist.Observe(d.Seconds())
+	if s.trace != nil {
+		s.mu.Lock()
+		s.dur = d
+		s.mu.Unlock()
+	}
 	if f := spanLogger.Load(); f != nil {
 		(*f)(s.name, s.parent, d)
 	}
@@ -99,6 +141,43 @@ func (s *Span) End() time.Duration {
 
 // Name returns the span's name.
 func (s *Span) Name() string { return s.name }
+
+// SetAttr attaches a typed attribute to the span. No-op on untraced spans,
+// so hot-path instrumentation can set attributes unconditionally.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil || s.trace == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute (batch size, queue depth, status).
+func (s *Span) SetInt(key string, v int) { s.SetAttr(key, v) }
+
+// SetFloat attaches a float attribute (queue wait ms, cache age).
+func (s *Span) SetFloat(key string, v float64) { s.SetAttr(key, v) }
+
+// SetBool attaches a boolean attribute (cache hit).
+func (s *Span) SetBool(key string, v bool) { s.SetAttr(key, v) }
+
+// SetStr attaches a string attribute (shed reason, checkpoint hash).
+func (s *Span) SetStr(key, v string) { s.SetAttr(key, v) }
+
+// Fail records err on the span and flags the whole trace as errored so
+// tail sampling always retains it. No-op for nil errors or untraced spans.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil || s.trace == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.errMsg == "" {
+		s.errMsg = err.Error()
+	}
+	s.mu.Unlock()
+	s.trace.noteError()
+}
 
 // spanLogger, when set, receives every ended span.
 var spanLogger atomic.Pointer[func(name, parent string, d time.Duration)]
@@ -113,11 +192,19 @@ func SetSpanLogger(f func(name, parent string, d time.Duration)) {
 	spanLogger.Store(&f)
 }
 
-// Time starts a timer on the default registry's tte_span_seconds family
-// and returns the function that stops it, for one-line instrumentation:
+// TimeCtx starts a timer on the default registry's tte_span_seconds family
+// under ctx — preserving span parentage and trace membership — and returns
+// the function that stops it, for one-line instrumentation:
 //
-//	defer obs.Time("mapmatch.viterbi")()
-func Time(name string) func() time.Duration {
-	_, s := defaultRegistry.StartSpan(nil, name)
+//	defer obs.TimeCtx(ctx, "mapmatch.viterbi")()
+func TimeCtx(ctx context.Context, name string) func() time.Duration {
+	_, s := defaultRegistry.StartSpan(ctx, name)
 	return s.End
+}
+
+// Time is TimeCtx without a context. The histogram is still recorded, but
+// the span is an orphan: no parent link, never part of a trace. Prefer
+// TimeCtx anywhere a context is available.
+func Time(name string) func() time.Duration {
+	return TimeCtx(context.Background(), name)
 }

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestConcurrentRegistry hammers metric creation and mutation from many
@@ -87,5 +90,84 @@ func TestConcurrentRegistry(t *testing.T) {
 	}
 	if v := r.Gauge("stress_gauge").Value(); v != 0 {
 		t.Fatalf("gauge should settle at 0, got %v", v)
+	}
+}
+
+// TestConcurrentTracing hammers the trace layer the way the serving path
+// does: many request goroutines each building a span tree (with a second
+// goroutine adding spans to the same trace, as engine workers do), offering
+// finished traces to a shared store, while readers scrape /debug/traces
+// concurrently. Run with -race.
+func TestConcurrentTracing(t *testing.T) {
+	r := NewRegistry()
+	ts := NewTraceStore(r, TraceStoreConfig{Capacity: 64, SlowestN: 4, Window: time.Second, SampleRate: 0.5, Seed: 7})
+	const (
+		workers = 8
+		iters   = 300
+	)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx, tr := StartTrace(context.Background(), TraceID(fmt.Sprintf("w%d-%d", w, i)), "/estimate")
+				rctx, root := r.StartSpan(ctx, "/estimate")
+				root.SetInt("iter", i)
+
+				// A "worker" goroutine contributes spans to the same trace,
+				// like the infer engine's batch path.
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					bctx, bspan := r.StartSpan(rctx, "infer.batch")
+					bspan.SetInt("batch_size", 1)
+					_, mspan := r.StartSpan(bctx, "infer.model")
+					mspan.End()
+					bspan.End()
+				}()
+				<-done
+				if i%7 == 0 {
+					root.Fail(fmt.Errorf("iter %d", i))
+				}
+				ts.Offer(tr, root.End())
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			h := ts.Handler()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces?limit=16", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("trace scrape status %d", rec.Code)
+					return
+				}
+				ts.Traces(TraceFilter{ErrorOnly: true})
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.Counter("tte_trace_completed_total").Value(); got != workers*iters {
+		t.Fatalf("completed = %d, want %d", got, workers*iters)
+	}
+	if got := r.Counter("tte_trace_retained_total", "reason", "error").Value(); got == 0 {
+		t.Fatal("no error traces retained")
 	}
 }

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// TraceHandler decorates a slog.Handler so every record logged with a
+// traced context carries a trace_id attribute — the correlation key
+// between structured log lines and the spans at GET /debug/traces. Logs
+// on untraced contexts pass through unchanged.
+//
+//	logger := slog.New(obs.NewTraceHandler(slog.NewTextHandler(os.Stderr, nil)))
+//	logger.ErrorContext(ctx, "reload failed", "err", err) // + trace_id=...
+type TraceHandler struct {
+	inner slog.Handler
+}
+
+// NewTraceHandler wraps h.
+func NewTraceHandler(h slog.Handler) *TraceHandler {
+	return &TraceHandler{inner: h}
+}
+
+// Enabled defers to the wrapped handler.
+func (h *TraceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle stamps trace_id from ctx (when present) and delegates.
+func (h *TraceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := TraceIDFrom(ctx); id != "" {
+		r.AddAttrs(slog.String("trace_id", string(id)))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs keeps the trace decoration on derived loggers.
+func (h *TraceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &TraceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup keeps the trace decoration on grouped loggers.
+func (h *TraceHandler) WithGroup(name string) slog.Handler {
+	return &TraceHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanUntraced is the hot-path cost every request pays: a span on
+// a context with no trace attached (sampling effectively disabled).
+func BenchmarkSpanUntraced(b *testing.B) {
+	reg := NewRegistry()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := reg.StartSpan(ctx, "bench")
+		s.SetInt("k", i)
+		s.End()
+	}
+}
+
+// BenchmarkSpanTraced is the same span inside a live trace: registration,
+// parent linking, and attribute storage included.
+func BenchmarkSpanTraced(b *testing.B) {
+	reg := NewRegistry()
+	ctx := context.Background()
+	b.ReportAllocs()
+	var tctx context.Context
+	for i := 0; i < b.N; i++ {
+		// A fresh trace every maxTraceSpans spans so registration never hits
+		// the per-trace cap and we keep measuring the full path.
+		if i%maxTraceSpans == 0 {
+			tctx, _ = StartTrace(ctx, TraceID(fmt.Sprintf("b%d", i)), "/bench")
+		}
+		_, s := reg.StartSpan(tctx, "bench")
+		s.SetInt("k", i)
+		s.End()
+	}
+}
+
+// BenchmarkTraceStoreOffer measures the tail-sampling decision for a trace
+// that is not retained — the common case under load.
+func BenchmarkTraceStoreOffer(b *testing.B) {
+	ts := NewTraceStore(NewRegistry(), TraceStoreConfig{SlowestN: -1, SampleRate: 0, Seed: 1})
+	_, tr := StartTrace(context.Background(), "bench", "/estimate")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts.Offer(tr, time.Millisecond)
+	}
+}
+
+// TestUntracedSpanOverhead gates the per-span cost the trace layer adds to
+// instrumented code when no trace is attached: the TraceFrom lookup plus
+// the no-op attribute setters and Fail. These are nil checks — a handful of
+// nanoseconds — so the bound below (low tens of ns, with slack for noisy CI
+// machines) catches any accidental allocation or lock on the disabled path.
+func TestUntracedSpanOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate, skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate, skipped under the race detector")
+	}
+	reg := NewRegistry()
+	ctx := context.Background()
+	_, s := reg.StartSpan(ctx, "gate")
+	defer s.End()
+
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if tr := TraceFrom(ctx); tr != nil {
+					b.Fatal("untraced context grew a trace")
+				}
+				s.SetInt("batch", i)
+				s.SetBool("hit", false)
+				s.SetStr("shed", "none")
+				s.Fail(nil)
+			}
+		})
+		if d := time.Duration(r.NsPerOp()); d < best {
+			best = d
+		}
+	}
+	const bound = 100 * time.Nanosecond
+	if best > bound {
+		t.Fatalf("disabled-tracing overhead = %v per span, want <= %v", best, bound)
+	}
+	t.Logf("disabled-tracing overhead: %v per span", best)
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceStoreConfig configures tail sampling and retention.
+type TraceStoreConfig struct {
+	// Capacity is the ring-buffer size: how many retained traces are kept
+	// before the oldest is overwritten. Default 512.
+	Capacity int
+	// SlowestN traces per Window are always retained regardless of the
+	// sample rate — the tail-latency diagnosis set. Default 16; set
+	// negative to disable slow retention.
+	SlowestN int
+	// Window is the rotation period for the slowest-N set. Default 10s.
+	Window time.Duration
+	// SampleRate is the probability a normal (non-error, non-slow) trace
+	// is retained. Taken literally: 0 keeps none, 1 keeps all.
+	SampleRate float64
+	// Seed seeds the sampling RNG; 0 uses the clock. Tests pin it.
+	Seed int64
+	// Now overrides the clock for window rotation (tests).
+	Now func() time.Time
+}
+
+// TraceStore retains finished traces under a tail-sampling policy:
+//
+//   - every error trace is kept,
+//   - the slowest-N traces per rotating window are kept,
+//   - plus a probabilistic sample of normal traffic,
+//
+// all in a fixed-size ring buffer so memory is bounded no matter the
+// request rate. GET /debug/traces (see Handler) serves the retained set
+// as JSON for diagnosis without an external collector.
+type TraceStore struct {
+	cfg TraceStoreConfig
+	now func() time.Time
+
+	completed  *Counter
+	keptError  *Counter
+	keptSlow   *Counter
+	keptSample *Counter
+
+	mu       sync.Mutex
+	ring     []*TraceRecord
+	next     int // ring index the next kept trace lands in
+	total    int // traces ever kept (ring occupancy = min(total, cap))
+	rng      *rand.Rand
+	winStart time.Time
+	winSlow  []time.Duration // durations of slow-retained traces this window, ascending
+}
+
+// NewTraceStore builds a store registering its counters in reg (nil uses
+// the default registry).
+func NewTraceStore(reg *Registry, cfg TraceStoreConfig) *TraceStore {
+	if reg == nil {
+		reg = Default()
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 512
+	}
+	if cfg.SlowestN == 0 {
+		cfg.SlowestN = 16
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Second
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	reg.Help("tte_trace_completed_total", "Traces finished, whether retained or not.")
+	reg.Help("tte_trace_retained_total", "Traces retained by tail sampling, by reason.")
+	return &TraceStore{
+		cfg:        cfg,
+		now:        now,
+		completed:  reg.Counter("tte_trace_completed_total"),
+		keptError:  reg.Counter("tte_trace_retained_total", "reason", "error"),
+		keptSlow:   reg.Counter("tte_trace_retained_total", "reason", "slow"),
+		keptSample: reg.Counter("tte_trace_retained_total", "reason", "sample"),
+		ring:       make([]*TraceRecord, cfg.Capacity),
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Offer submits a finished trace of duration d for retention and reports
+// whether (and why) it was kept. Reasons are checked in priority order:
+// "error" beats "slow" beats "sample".
+func (ts *TraceStore) Offer(t *Trace, d time.Duration) (kept bool, reason string) {
+	if ts == nil || t == nil {
+		return false, ""
+	}
+	ts.completed.Inc()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	// Feed the slow-window tracker for every trace so "slowest this
+	// window" means slowest among all traffic, not just non-errors.
+	slow := ts.slowLocked(d)
+	switch {
+	case t.Errored():
+		reason = "error"
+		ts.keptError.Inc()
+	case slow:
+		reason = "slow"
+		ts.keptSlow.Inc()
+	case ts.cfg.SampleRate > 0 && ts.rng.Float64() < ts.cfg.SampleRate:
+		reason = "sample"
+		ts.keptSample.Inc()
+	default:
+		return false, ""
+	}
+	ts.ring[ts.next] = t.snapshot(d, reason)
+	ts.next = (ts.next + 1) % len(ts.ring)
+	ts.total++
+	return true, reason
+}
+
+// slowLocked reports whether d ranks among the slowest-N durations seen in
+// the current window, rotating the window as needed. While the window's
+// set is not yet full any trace qualifies (the first arrivals are, by
+// definition, the slowest seen so far); once full, d must beat the current
+// minimum, which it then evicts.
+func (ts *TraceStore) slowLocked(d time.Duration) bool {
+	if ts.cfg.SlowestN <= 0 {
+		return false
+	}
+	now := ts.now()
+	if ts.winStart.IsZero() || now.Sub(ts.winStart) >= ts.cfg.Window {
+		ts.winStart = now
+		ts.winSlow = ts.winSlow[:0]
+	}
+	i := sort.Search(len(ts.winSlow), func(i int) bool { return ts.winSlow[i] >= d })
+	if len(ts.winSlow) < ts.cfg.SlowestN {
+		ts.winSlow = append(ts.winSlow, 0)
+		copy(ts.winSlow[i+1:], ts.winSlow[i:])
+		ts.winSlow[i] = d
+		return true
+	}
+	if i == 0 {
+		return false // not slower than the current minimum
+	}
+	copy(ts.winSlow[:i-1], ts.winSlow[1:i]) // evict the minimum
+	ts.winSlow[i-1] = d
+	return true
+}
+
+// TraceFilter selects retained traces; zero values mean "no constraint".
+type TraceFilter struct {
+	Route     string
+	MinDur    time.Duration
+	ErrorOnly bool
+	Limit     int
+}
+
+// Traces returns retained traces newest-first, filtered. Records are
+// immutable; callers may hold them without copying.
+func (ts *TraceStore) Traces(f TraceFilter) []*TraceRecord {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := ts.total
+	if n > len(ts.ring) {
+		n = len(ts.ring)
+	}
+	minMS := float64(f.MinDur) / float64(time.Millisecond)
+	out := make([]*TraceRecord, 0, n)
+	for k := 0; k < n; k++ {
+		rec := ts.ring[((ts.next-1-k)%len(ts.ring)+len(ts.ring))%len(ts.ring)]
+		if rec == nil {
+			continue
+		}
+		if f.Route != "" && rec.Route != f.Route {
+			continue
+		}
+		if f.MinDur > 0 && rec.DurationMS < minMS {
+			continue
+		}
+		if f.ErrorOnly && !rec.Error {
+			continue
+		}
+		out = append(out, rec)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Handler serves the retained traces as JSON:
+//
+//	GET /debug/traces?route=/estimate&minDur=50ms&errors=1&limit=20
+//
+// minDur accepts a Go duration ("50ms", "1.5s") or a bare number of
+// milliseconds. errors=1 keeps only error traces. Traces are returned
+// newest-first.
+func (ts *TraceStore) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		f := TraceFilter{Route: q.Get("route")}
+		if v := q.Get("minDur"); v != "" {
+			d, err := parseDur(v)
+			if err != nil {
+				http.Error(w, "bad minDur: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.MinDur = d
+		}
+		if v := q.Get("errors"); v == "1" || strings.EqualFold(v, "true") {
+			f.ErrorOnly = true
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		recs := ts.Traces(f)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"count":     len(recs),
+			"completed": ts.completed.Value(),
+			"traces":    recs,
+		})
+	})
+}
+
+// parseDur reads a duration: time.ParseDuration syntax, with a bare number
+// treated as milliseconds ("minDur=50" == "minDur=50ms").
+func parseDur(s string) (time.Duration, error) {
+	if ms, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.Duration(ms * float64(time.Millisecond)), nil
+	}
+	return time.ParseDuration(s)
+}

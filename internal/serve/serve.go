@@ -7,15 +7,24 @@
 //
 // Routes:
 //
-//	POST /estimate  JSON OD input → travel time estimate
-//	GET  /healthz   liveness + model summary
-//	GET  /version   live model snapshot, engine config and build info
-//	POST /reload    hot-swap the model checkpoint (when wired)
-//	GET  /metrics   Prometheus text exposition of the obs registry
+//	POST /estimate      JSON OD input → travel time estimate
+//	GET  /healthz       liveness + model summary
+//	GET  /readyz        readiness: 503 until a snapshot serves (k8s-style)
+//	GET  /version       live model snapshot, engine config and build info
+//	POST /reload        hot-swap the model checkpoint (when wired)
+//	GET  /metrics       Prometheus text exposition of the obs registry
+//	GET  /debug/traces  tail-sampled request traces (when Config.Traces set)
 //
-// Every route is wrapped with obs.Instrument (request counters by status
+// Every route is wrapped with obs.Middleware (request counters by status
 // class, latency histograms, in-flight gauge, request logging), /estimate
 // bodies are size-capped, and all errors are JSON: {"error": "..."}.
+//
+// When Config.Traces is set every request is traced: the trace ID comes
+// from the X-Trace-Id header (or is generated) and is echoed in the
+// response, handler stages become spans in the request's tree, and the
+// finished trace is tail-sampled into the store behind /debug/traces.
+// With Config.Logger set, requests are logged via slog — errors always,
+// successes sampled — correlated to traces by trace_id.
 //
 // When Config.Infer is set, /estimate routes through the inference engine
 // and its admission-control errors map onto HTTP: ErrOverloaded → 429 and
@@ -28,6 +37,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -54,12 +64,13 @@ type Config struct {
 	// When set, Match/Estimate are ignored and the engine owns matching,
 	// batching, caching and admission control.
 	Infer func(ctx context.Context, od traj.ODInput) (infer.Result, error)
-	// Match snaps an OD input onto road segments (deepod.MatchOD closed
-	// over a matcher). Required unless Infer is set.
-	Match func(traj.ODInput) (traj.MatchedOD, error)
-	// Estimate runs the online estimation on a matched OD. Required
-	// unless Infer is set.
-	Estimate func(*traj.MatchedOD) float64
+	// Match snaps an OD input onto road segments (deepod.MatchODCtx closed
+	// over a matcher). Required unless Infer is set. The context carries
+	// the request's trace.
+	Match func(ctx context.Context, od traj.ODInput) (traj.MatchedOD, error)
+	// Estimate runs the online estimation on a matched OD (for example
+	// core.Model.EstimateCtx). Required unless Infer is set.
+	Estimate func(ctx context.Context, od *traj.MatchedOD) float64
 	// Bounds, when non-nil, rejects estimate requests whose origin or
 	// destination falls outside the road network's bounding box with 400
 	// before they reach map matching.
@@ -68,8 +79,15 @@ type Config struct {
 	// config — infer.Engine.Version) to the /version payload. Optional.
 	Version func() map[string]any
 	// Reload hot-swaps the serving model; its map is echoed in the
-	// /reload response. Optional; when nil the route answers 501.
-	Reload func() (map[string]any, error)
+	// /reload response. Optional; when nil the route answers 501. The
+	// context carries the request's trace so checkpoint-load and swap
+	// spans land in the reload trace.
+	Reload func(ctx context.Context) (map[string]any, error)
+	// Ready reports whether the server should receive traffic, with a
+	// detail payload for /readyz (infer.Engine.Readiness). Optional; when
+	// nil /readyz always answers 200 (the direct path has no load/reload
+	// lifecycle to gate on).
+	Ready func() (bool, map[string]any)
 	// External resolves the external features (weather, speed grid) for a
 	// departure time. Optional; nil means no external features.
 	External func(departSec float64) *traj.ExternalFeatures
@@ -83,6 +101,16 @@ type Config struct {
 	Registry *obs.Registry
 	// Logf, when non-nil, receives one line per request.
 	Logf obs.Logf
+	// Logger, when non-nil, emits structured request logs (5xx at Error
+	// and 4xx at Warn always; 2xx/3xx at Info sampled by AccessLogEvery),
+	// correlated to traces when its handler wraps obs.TraceHandler.
+	Logger *slog.Logger
+	// AccessLogEvery samples success access logs: every Nth 2xx/3xx
+	// request per route (<=1 logs all).
+	AccessLogEvery int
+	// Traces, when non-nil, enables request tracing and mounts the store's
+	// handler at /debug/traces.
+	Traces *obs.TraceStore
 }
 
 // Server is the assembled HTTP API.
@@ -104,14 +132,26 @@ func New(cfg Config) (*Server, error) {
 		cfg.Registry = obs.Default()
 	}
 	s := &Server{cfg: cfg, reg: cfg.Registry, mux: http.NewServeMux()}
+	mw := obs.Middleware{
+		Registry:       s.reg,
+		Logf:           cfg.Logf,
+		Logger:         cfg.Logger,
+		AccessLogEvery: cfg.AccessLogEvery,
+		Traces:         cfg.Traces,
+	}
 	route := func(pattern string, h http.HandlerFunc) {
-		s.mux.Handle(pattern, obs.Instrument(s.reg, pattern, cfg.Logf, h))
+		s.mux.Handle(pattern, mw.Wrap(pattern, h))
 	}
 	route("/estimate", s.handleEstimate)
 	route("/healthz", s.handleHealth)
+	route("/readyz", s.handleReady)
 	route("/version", s.handleVersion)
 	route("/reload", s.handleReload)
 	s.mux.Handle("/metrics", s.reg.Handler())
+	if cfg.Traces != nil {
+		// Served raw like /metrics: reading traces should not create them.
+		s.mux.Handle("/debug/traces", cfg.Traces.Handler())
+	}
 	return s, nil
 }
 
@@ -174,7 +214,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
-	ctx, decodeSpan := s.reg.StartSpan(r.Context(), "decode")
+	// Stages below span off the request context (which carries the trace
+	// and the middleware's root span), not off each other: decode, match
+	// and the engine stages are siblings under the route's root span.
+	ctx := r.Context()
+	_, decodeSpan := s.reg.StartSpan(ctx, "decode")
 	var req EstimateRequest
 	err := json.NewDecoder(r.Body).Decode(&req)
 	decodeSpan.End()
@@ -217,15 +261,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	_, matchSpan := s.reg.StartSpan(ctx, "match")
-	matched, err := s.cfg.Match(od)
-	matchSpan.End()
+	mctx, matchSpan := s.reg.StartSpan(ctx, "match")
+	matched, err := s.cfg.Match(mctx, od)
 	if err != nil {
+		matchSpan.Fail(err)
+		matchSpan.End()
 		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("map matching failed: %v", err))
 		return
 	}
+	matchSpan.End()
 
-	sec := s.cfg.Estimate(&matched) // encode + estimate spans recorded by core
+	sec := s.cfg.Estimate(ctx, &matched) // encode + estimate spans recorded by core
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		TravelSeconds: sec,
 		TravelHuman:   humanDuration(sec),
@@ -310,7 +356,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "reload is not wired on this server")
 		return
 	}
-	meta, err := s.cfg.Reload()
+	meta, err := s.cfg.Reload(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload failed: %v", err))
 		return
@@ -320,6 +366,34 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		body[k] = v
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReady is the k8s-style readiness probe, distinct from /healthz
+// (liveness): a live process may still be unable to serve — no snapshot
+// loaded yet, engine closed, or stuck after a failed reload. Orchestrators
+// route traffic on 200 and drain on 503; the payload carries the serving
+// checkpoint hash and queue depth either way.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	ready := true
+	body := map[string]any{"city": s.cfg.City}
+	if s.cfg.Ready != nil {
+		ok, detail := s.cfg.Ready()
+		ready = ok
+		for k, v := range detail {
+			body[k] = v
+		}
+	}
+	body["ready"] = ready
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -181,7 +181,7 @@ func TestReloadEndpoint(t *testing.T) {
 	s := newInferServer(t, func(context.Context, traj.ODInput) (infer.Result, error) {
 		return infer.Result{}, nil
 	}, func(c *Config) {
-		c.Reload = func() (map[string]any, error) {
+		c.Reload = func(context.Context) (map[string]any, error) {
 			calls++
 			if calls > 1 {
 				return nil, fmt.Errorf("checkpoint is corrupt")
@@ -234,10 +234,10 @@ func TestReloadUnwiredIs501(t *testing.T) {
 // Swap changes the served model — the serve↔infer integration seam.
 func TestEngineEndToEndOverHTTP(t *testing.T) {
 	eng, err := infer.New(infer.Config{
-		Match: func(od traj.ODInput) (traj.MatchedOD, error) {
+		Match: func(_ context.Context, od traj.ODInput) (traj.MatchedOD, error) {
 			return traj.MatchedOD{DepartSec: od.DepartSec}, nil
 		},
-		Snapshot: &infer.Snapshot{ID: "m1", Estimate: func(*traj.MatchedOD) float64 { return 60 }},
+		Snapshot: &infer.Snapshot{ID: "m1", Estimate: func(context.Context, *traj.MatchedOD) float64 { return 60 }},
 		Workers:  2, QueueDepth: 16, MaxBatch: 4,
 		CacheEntries: 64,
 		Cells:        unitCells{},
@@ -251,8 +251,8 @@ func TestEngineEndToEndOverHTTP(t *testing.T) {
 
 	s := newInferServer(t, eng.Do, func(c *Config) {
 		c.Version = eng.Version
-		c.Reload = func() (map[string]any, error) {
-			prev, err := eng.Swap(&infer.Snapshot{ID: "m2", Estimate: func(*traj.MatchedOD) float64 { return 120 }})
+		c.Reload = func(context.Context) (map[string]any, error) {
+			prev, err := eng.Swap(&infer.Snapshot{ID: "m2", Estimate: func(context.Context, *traj.MatchedOD) float64 { return 120 }})
 			if err != nil {
 				return nil, err
 			}

@@ -21,13 +21,13 @@ func newTestServer(t *testing.T) (*Server, *obs.Registry) {
 	reg := obs.NewRegistry()
 	s, err := New(Config{
 		City: "test-city",
-		Match: func(od traj.ODInput) (traj.MatchedOD, error) {
+		Match: func(_ context.Context, od traj.ODInput) (traj.MatchedOD, error) {
 			if od.Origin.X < 0 {
 				return traj.MatchedOD{}, fmt.Errorf("no segment near origin")
 			}
 			return traj.MatchedOD{DepartSec: od.DepartSec}, nil
 		},
-		Estimate:     func(*traj.MatchedOD) float64 { return 42 },
+		Estimate:     func(context.Context, *traj.MatchedOD) float64 { return 42 },
 		Health:       map[string]any{"edges": 7},
 		MaxBodyBytes: 1024,
 		Registry:     reg,

@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"deepod/internal/core"
+	"deepod/internal/infer"
+	"deepod/internal/mapmatch"
+	"deepod/internal/obs"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+// newTracedEngineServer assembles the real serving stack — HTTP layer,
+// inference engine, map matcher, and an (untrained) DeepOD model — with
+// tracing on, so tests can follow one request's spans across every layer.
+func newTracedEngineServer(t *testing.T) (*Server, *obs.TraceStore, string) {
+	t.Helper()
+	gcfg := roadnet.SmallCity("trace-e2e", 7)
+	gcfg.Rows, gcfg.Cols = 4, 4
+	g, err := roadnet.GenerateCity(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.SmallConfig()
+	cfg.Ds, cfg.Dt = 8, 8
+	cfg.D1m, cfg.D2m, cfg.D3m, cfg.D4m = 16, 8, 16, 8
+	cfg.D5m, cfg.D6m, cfg.D7m, cfg.D9m = 16, 8, 16, 16
+	cfg.Dh, cfg.Dtraf = 16, 8
+	m, err := core.New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher, err := mapmatch.New(g, mapmatch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := roadnet.NewEdgeIndex(g, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	eng, err := infer.New(infer.Config{
+		Match: func(ctx context.Context, od traj.ODInput) (traj.MatchedOD, error) {
+			oe, of, err := matcher.MatchPointCtx(ctx, od.Origin)
+			if err != nil {
+				return traj.MatchedOD{}, err
+			}
+			de, df, err := matcher.MatchPointCtx(ctx, od.Dest)
+			if err != nil {
+				return traj.MatchedOD{}, err
+			}
+			return traj.MatchedOD{
+				OriginEdge: oe, DestEdge: de,
+				RStart: of, REnd: 1 - df,
+				DepartSec: od.DepartSec,
+			}, nil
+		},
+		Snapshot:     infer.ModelSnapshot("m-e2e", m),
+		Workers:      2,
+		QueueDepth:   16,
+		MaxBatch:     4,
+		CacheEntries: 64,
+		Cells:        cells,
+		Slotter:      m.Slotter(),
+		Registry:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+
+	ts := obs.NewTraceStore(reg, obs.TraceStoreConfig{SlowestN: -1, SampleRate: 1, Seed: 1})
+	s, err := New(Config{
+		City:     "trace-city",
+		Infer:    eng.Do,
+		Ready:    eng.Readiness,
+		Registry: reg,
+		Traces:   ts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An on-network request body: both endpoints sit exactly on edges.
+	o := g.PointAlongEdge(0, 0.3)
+	d := g.PointAlongEdge(roadnet.EdgeID(g.NumEdges()-1), 0.7)
+	body := fmt.Sprintf(`{"origin":{"X":%f,"Y":%f},"dest":{"X":%f,"Y":%f},"depart_sec":600}`,
+		o.X, o.Y, d.X, d.Y)
+	return s, ts, body
+}
+
+// spanAttrs flattens a span's attributes for assertions.
+func spanAttrs(s obs.SpanRecord) map[string]any {
+	out := map[string]any{}
+	for _, a := range s.Attrs {
+		out[a.Key] = a.Value
+	}
+	return out
+}
+
+// TestTracePropagationEndToEnd drives one request through the full stack
+// and checks the retained trace is a single tree: the route's root span
+// with decode and the engine stages (cache, queue, batch) as children, the
+// match and model stages under the batch, and the core model's encode and
+// estimate stages under the model span — the layering the trace layer
+// exists to expose.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	s, ts, body := newTracedEngineServer(t)
+	h := s.Handler()
+
+	rec := postEstimate(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate = %d, body %s", rec.Code, rec.Body)
+	}
+	id := rec.Header().Get(obs.TraceHeader)
+	if id == "" {
+		t.Fatal("response missing X-Trace-Id")
+	}
+
+	recs := ts.Traces(obs.TraceFilter{Route: "/estimate"})
+	if len(recs) != 1 || recs[0].TraceID != id {
+		t.Fatalf("retained = %+v, want one /estimate trace with ID %s", recs, id)
+	}
+	tr := recs[0]
+	idx := map[string]int{}
+	for i, sp := range tr.Spans {
+		idx[sp.Name] = i
+	}
+	parentOf := func(name string) int {
+		i, ok := idx[name]
+		if !ok {
+			t.Fatalf("trace has no %q span; spans: %+v", name, tr.Spans)
+		}
+		return tr.Spans[i].Parent
+	}
+	if parentOf("/estimate") != -1 {
+		t.Fatalf("root parent = %d", parentOf("/estimate"))
+	}
+	for _, name := range []string{"decode", "infer.cache", "infer.queue", "infer.batch"} {
+		if parentOf(name) != idx["/estimate"] {
+			t.Fatalf("%s parent = %d, want root (%d); spans: %+v", name, parentOf(name), idx["/estimate"], tr.Spans)
+		}
+	}
+	for _, name := range []string{"infer.match", "infer.model"} {
+		if parentOf(name) != idx["infer.batch"] {
+			t.Fatalf("%s parent = %d, want infer.batch (%d)", name, parentOf(name), idx["infer.batch"])
+		}
+	}
+	if parentOf("mapmatch.point") != idx["infer.match"] {
+		t.Fatalf("mapmatch.point parent = %d, want infer.match (%d)", parentOf("mapmatch.point"), idx["infer.match"])
+	}
+	for _, name := range []string{"encode", "estimate"} {
+		if parentOf(name) != idx["infer.model"] {
+			t.Fatalf("%s parent = %d, want infer.model (%d)", name, parentOf(name), idx["infer.model"])
+		}
+	}
+
+	if a := spanAttrs(tr.Spans[idx["infer.cache"]]); a["hit"] != false {
+		t.Fatalf("infer.cache attrs = %v, want hit=false", a)
+	}
+	ba := spanAttrs(tr.Spans[idx["infer.batch"]])
+	if bs, ok := ba["batch_size"].(int); !ok || bs < 1 {
+		t.Fatalf("infer.batch attrs = %v, want batch_size >= 1", ba)
+	}
+	if ba["snapshot"] != "m-e2e" {
+		t.Fatalf("infer.batch attrs = %v, want snapshot m-e2e", ba)
+	}
+	qa := spanAttrs(tr.Spans[idx["infer.queue"]])
+	if _, ok := qa["wait_ms"].(float64); !ok {
+		t.Fatalf("infer.queue attrs = %v, want wait_ms", qa)
+	}
+	if a := spanAttrs(tr.Spans[idx["/estimate"]]); a["status"] != 200 {
+		t.Fatalf("root attrs = %v, want status 200", a)
+	}
+
+	// The repeat of the same OD is a cache hit: its trace records hit=true
+	// and never reaches the batch stage.
+	rec = postEstimate(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("repeat = %d, body %s", rec.Code, rec.Body)
+	}
+	id2 := rec.Header().Get(obs.TraceHeader)
+	if id2 == "" || id2 == id {
+		t.Fatalf("repeat trace ID = %q (first %q)", id2, id)
+	}
+	recs = ts.Traces(obs.TraceFilter{Route: "/estimate"})
+	if len(recs) != 2 || recs[0].TraceID != id2 {
+		t.Fatalf("retained after repeat = %d traces, newest %s", len(recs), recs[0].TraceID)
+	}
+	hit := recs[0]
+	names := map[string]bool{}
+	for _, sp := range hit.Spans {
+		names[sp.Name] = true
+		if sp.Name == "infer.cache" {
+			if a := spanAttrs(sp); a["hit"] != true {
+				t.Fatalf("repeat infer.cache attrs = %v, want hit=true", a)
+			}
+		}
+	}
+	if names["infer.batch"] || names["infer.queue"] {
+		t.Fatalf("cache-hit trace has engine queue/batch spans: %+v", hit.Spans)
+	}
+}
+
+// TestTraceTailSamplingUnderLoad floods the server with mixed fast, slow
+// and failing requests and checks the retention contract: every error
+// trace and every deliberately slow trace is retained and visible through
+// GET /debug/traces, every response carries X-Trace-Id, and the minDur
+// filter isolates the slow set.
+func TestTraceTailSamplingUnderLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := obs.NewTraceStore(reg, obs.TraceStoreConfig{
+		Capacity:   256,
+		SlowestN:   8,
+		Window:     time.Hour, // no rotation mid-test
+		SampleRate: 0,         // only error/slow retention, deterministically
+	})
+	// The stub engine keys behavior off depart_sec: <1000 fast success,
+	// <2000 slow success, else failure (→ 500).
+	s := newInferServer(t, func(_ context.Context, od traj.ODInput) (infer.Result, error) {
+		switch {
+		case od.DepartSec < 1000:
+			return infer.Result{Seconds: 1}, nil
+		case od.DepartSec < 2000:
+			time.Sleep(15 * time.Millisecond)
+			return infer.Result{Seconds: 2}, nil
+		default:
+			return infer.Result{}, errors.New("model exploded")
+		}
+	}, func(c *Config) {
+		c.Registry = reg
+		c.Traces = ts
+	})
+	h := s.Handler()
+
+	do := func(depart int) (string, int) {
+		rec := postEstimate(t, h, fmt.Sprintf(`{"origin":{"X":1,"Y":1},"dest":{"X":2,"Y":2},"depart_sec":%d}`, depart))
+		return rec.Header().Get(obs.TraceHeader), rec.Code
+	}
+	slowIDs := map[string]bool{}
+	errIDs := map[string]bool{}
+	total := 0
+	for i := 0; i < 40; i++ { // fast traffic first fills the slow window
+		id, code := do(i)
+		if id == "" {
+			t.Fatalf("fast request %d missing X-Trace-Id", i)
+		}
+		if code != http.StatusOK {
+			t.Fatalf("fast request %d = %d", i, code)
+		}
+		total++
+	}
+	for i := 0; i < 5; i++ {
+		id, code := do(1000 + i)
+		if id == "" || code != http.StatusOK {
+			t.Fatalf("slow request %d: id=%q code=%d", i, id, code)
+		}
+		slowIDs[id] = true
+		total++
+	}
+	for i := 0; i < 5; i++ {
+		id, code := do(2000 + i)
+		if id == "" {
+			t.Fatalf("error request %d missing X-Trace-Id", i)
+		}
+		if code != http.StatusInternalServerError {
+			t.Fatalf("error request %d = %d", i, code)
+		}
+		errIDs[id] = true
+		total++
+	}
+
+	get := func(url string) (int, struct {
+		Count     int                `json:"count"`
+		Completed uint64             `json:"completed"`
+		Traces    []*obs.TraceRecord `json:"traces"`
+	}) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		var body struct {
+			Count     int                `json:"count"`
+			Completed uint64             `json:"completed"`
+			Traces    []*obs.TraceRecord `json:"traces"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: %v (body %s)", url, err, rec.Body)
+		}
+		return rec.Code, body
+	}
+
+	// 100% of error traces are retained.
+	code, body := get("/debug/traces?errors=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	if body.Count != len(errIDs) {
+		t.Fatalf("error traces retained = %d, want %d", body.Count, len(errIDs))
+	}
+	for _, tr := range body.Traces {
+		if !errIDs[tr.TraceID] || tr.Retained != "error" || !tr.Error {
+			t.Fatalf("unexpected error trace %+v", tr)
+		}
+	}
+	if body.Completed != uint64(total) {
+		t.Fatalf("completed = %d, want %d", body.Completed, total)
+	}
+
+	// Every deliberately slow trace is retained; minDur isolates them from
+	// the sub-millisecond warmup retentions.
+	_, body = get("/debug/traces?minDur=10ms")
+	if body.Count != len(slowIDs) {
+		t.Fatalf("minDur=10ms returned %d traces, want %d slow", body.Count, len(slowIDs))
+	}
+	for _, tr := range body.Traces {
+		if !slowIDs[tr.TraceID] || tr.Retained != "slow" {
+			t.Fatalf("unexpected slow trace %+v", tr)
+		}
+		if tr.DurationMS < 10 {
+			t.Fatalf("slow trace duration = %vms", tr.DurationMS)
+		}
+	}
+
+	// Route + limit compose with the rest of the query.
+	_, body = get("/debug/traces?route=/estimate&limit=3")
+	if body.Count != 3 {
+		t.Fatalf("limit=3 returned %d", body.Count)
+	}
+}
+
+func TestReadyzDirectPathAlwaysReady(t *testing.T) {
+	s, _ := newTestServer(t) // no Ready callback
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz = %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["ready"] != true || body["city"] != "test-city" {
+		t.Fatalf("readyz body = %v", body)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/readyz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /readyz = %d", rec.Code)
+	}
+}
+
+func TestReadyzReportsNotReady(t *testing.T) {
+	s := newInferServer(t, func(context.Context, traj.ODInput) (infer.Result, error) {
+		return infer.Result{}, nil
+	}, func(c *Config) {
+		c.Ready = func() (bool, map[string]any) {
+			return false, map[string]any{"reason": "no model snapshot loaded", "queue_len": 0}
+		}
+	})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d, want 503", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["ready"] != false || body["reason"] != "no model snapshot loaded" {
+		t.Fatalf("readyz body = %v", body)
+	}
+}
+
+// TestReadyzEngineLifecycle walks the engine-backed readiness through its
+// states: serving → failed reload (503) → recovered by Swap (200).
+func TestReadyzEngineLifecycle(t *testing.T) {
+	eng, err := infer.New(infer.Config{
+		Match: func(_ context.Context, od traj.ODInput) (traj.MatchedOD, error) {
+			return traj.MatchedOD{DepartSec: od.DepartSec}, nil
+		},
+		Snapshot: &infer.Snapshot{ID: "m1", Estimate: func(context.Context, *traj.MatchedOD) float64 { return 60 }},
+		Workers:  1, QueueDepth: 4,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s := newInferServer(t, eng.Do, func(c *Config) { c.Ready = eng.Readiness })
+	h := s.Handler()
+
+	check := func(wantCode int) map[string]any {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		if rec.Code != wantCode {
+			t.Fatalf("/readyz = %d, want %d (body %s)", rec.Code, wantCode, rec.Body)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	body := check(http.StatusOK)
+	if body["model"] != "m1" || body["queue_capacity"] != float64(4) {
+		t.Fatalf("ready body = %v", body)
+	}
+
+	eng.RecordReloadFailure(errors.New("checkpoint is corrupt"))
+	body = check(http.StatusServiceUnavailable)
+	if body["reason"] != "last reload failed" || body["last_reload_error"] != "checkpoint is corrupt" {
+		t.Fatalf("failed-reload body = %v", body)
+	}
+
+	if _, err := eng.Swap(&infer.Snapshot{ID: "m2", Estimate: func(context.Context, *traj.MatchedOD) float64 { return 120 }}); err != nil {
+		t.Fatal(err)
+	}
+	body = check(http.StatusOK)
+	if body["model"] != "m2" {
+		t.Fatalf("recovered body = %v", body)
+	}
+}

@@ -23,10 +23,14 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/...
-go test -race -run 'ConcurrentSafe' ./internal/core/
+go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/...
+go test -race -run 'ConcurrentSafe|Trace' ./internal/core/
 
-echo "== bench smoke (internal/infer)"
+echo "== tracebench gate (disabled-tracing span overhead)"
+go test -run 'TestUntracedSpanOverhead' ./internal/obs/
+
+echo "== bench smoke (internal/infer + internal/obs spans)"
 go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
+go test -run '^$' -bench 'BenchmarkSpan|BenchmarkTraceStoreOffer' -benchtime=100ms ./internal/obs/
 
 echo "ok"
