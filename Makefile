@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt bench tracebench servebench
+.PHONY: build test check race fmt bench tracebench qualitybench servebench
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ check:
 	./scripts/check.sh
 
 race:
-	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/...
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/...
 	go test -race -run 'ConcurrentSafe|Trace' ./internal/core/
 
 fmt:
@@ -24,6 +24,9 @@ bench:
 tracebench:
 	go test -run 'TestUntracedSpanOverhead' -v ./internal/obs/
 	go test -run '^$$' -bench 'BenchmarkSpan|BenchmarkTraceStoreOffer' ./internal/obs/
+
+qualitybench:
+	go test -run 'TestPredictionStampDisabledOverhead' -v ./internal/infer/
 
 servebench:
 	go run ./cmd/ttebench -servebench

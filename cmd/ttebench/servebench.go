@@ -16,6 +16,7 @@ import (
 	"deepod/internal/core"
 	"deepod/internal/infer"
 	"deepod/internal/obs"
+	"deepod/internal/quality"
 	"deepod/internal/roadnet"
 	"deepod/internal/traj"
 )
@@ -41,6 +42,10 @@ type serveBenchMode struct {
 	QPS       float64 `json:"qps"`
 	P50Ms     float64 `json:"p50_ms"`
 	P99Ms     float64 `json:"p99_ms"`
+	// Joined and QualityMAESec are set only for the feedback-replay mode:
+	// predictions joined with ground truth, and the resulting online MAE.
+	Joined        uint64  `json:"joined,omitempty"`
+	QualityMAESec float64 `json:"quality_mae_sec,omitempty"`
 }
 
 // serveBenchReport is the BENCH_serve.json payload.
@@ -52,14 +57,19 @@ type serveBenchReport struct {
 	EngineWorkers         int              `json:"engine_workers"`
 	Modes                 []serveBenchMode `json:"modes"`
 	SpeedupCachedVsDirect float64          `json:"speedup_cached_vs_direct"`
+	// FeedbackOverheadPct is the throughput cost of full quality monitoring
+	// (stamp + pending table + feedback join) vs the bare engine mode.
+	FeedbackOverheadPct float64 `json:"feedback_overhead_pct"`
 }
 
-// runServeBench measures the serving path three ways on a repeated-OD
+// runServeBench measures the serving path four ways on a repeated-OD
 // workload — direct (one synchronous match+estimate per request, the
-// pre-engine behavior), through the engine without caching, and through
-// the engine with the estimate cache — and reports QPS and latency
-// percentiles for each. The model is untrained: forward-pass cost is
-// identical to a trained model's, and only costs are measured here.
+// pre-engine behavior), through the engine without caching, through the
+// engine with the estimate cache, and through the engine with the online
+// quality monitor replaying each record's observed travel time as feedback
+// — and reports QPS and latency percentiles for each. The model is
+// untrained: forward-pass cost is identical to a trained model's, and only
+// costs are measured here.
 func runServeBench(o serveBenchOptions) error {
 	c, err := deepod.BuildCity(o.City, deepod.CityOptions{Orders: o.Orders, Seed: o.Seed})
 	if err != nil {
@@ -85,8 +95,10 @@ func runServeBench(o serveBenchOptions) error {
 		o.DistinctODs = len(c.Records)
 	}
 	ods := make([]traj.ODInput, o.DistinctODs)
+	actuals := make([]float64, o.DistinctODs) // ground truth for feedback replay
 	for i := range ods {
 		ods[i] = c.Records[i].OD
+		actuals[i] = c.Records[i].TravelSec
 	}
 
 	workers := runtime.GOMAXPROCS(0)
@@ -98,11 +110,11 @@ func runServeBench(o serveBenchOptions) error {
 		EngineWorkers: workers,
 	}
 
-	newEngine := func(cacheEntries int) (*infer.Engine, error) {
-		cells, err := roadnet.NewEdgeIndex(c.Graph, 250)
-		if err != nil {
-			return nil, err
-		}
+	cells, err := roadnet.NewEdgeIndex(c.Graph, 250)
+	if err != nil {
+		return err
+	}
+	newEngine := func(cacheEntries int, rec infer.PredictionRecorder) (*infer.Engine, error) {
 		return infer.New(infer.Config{
 			Match:        match,
 			Snapshot:     infer.ModelSnapshot("servebench", m),
@@ -114,11 +126,12 @@ func runServeBench(o serveBenchOptions) error {
 			CacheTTL:     time.Hour, // workload is stationary; measure hits, not churn
 			Cells:        cells,
 			Slotter:      m.Slotter(),
+			Recorder:     rec,
 			Registry:     obs.NewRegistry(), // keep bench metrics out of the default registry
 		})
 	}
 
-	direct := func(ctx context.Context, od traj.ODInput) (infer.Result, error) {
+	direct := func(ctx context.Context, _ int, od traj.ODInput) (infer.Result, error) {
 		matched, err := match(ctx, od)
 		if err != nil {
 			return infer.Result{}, err
@@ -126,7 +139,9 @@ func runServeBench(o serveBenchOptions) error {
 		return infer.Result{Seconds: m.EstimateCtx(ctx, &matched)}, nil
 	}
 
-	run := func(name string, do func(context.Context, traj.ODInput) (infer.Result, error), eng *infer.Engine) serveBenchMode {
+	// do receives the workload index alongside the OD so the feedback mode
+	// can look up the record's ground-truth travel time.
+	run := func(name string, do func(context.Context, int, traj.ODInput) (infer.Result, error), eng *infer.Engine) serveBenchMode {
 		var (
 			wg   sync.WaitGroup
 			lats = make([][]float64, o.Concurrency)
@@ -142,7 +157,7 @@ func runServeBench(o serveBenchOptions) error {
 				for i := w; time.Now().Before(deadline); i++ {
 					od := ods[i%len(ods)]
 					start := time.Now()
-					_, err := do(ctx, od)
+					_, err := do(ctx, i%len(ods), od)
 					buf = append(buf, time.Since(start).Seconds())
 					if err != nil {
 						errs[w]++
@@ -180,32 +195,78 @@ func runServeBench(o serveBenchOptions) error {
 
 	report.Modes = append(report.Modes, run("direct", direct, nil))
 
-	engNo, err := newEngine(0)
+	engNo, err := newEngine(0, nil)
 	if err != nil {
 		return err
 	}
-	report.Modes = append(report.Modes, run("engine", engNo.Do, engNo))
+	engine := func(ctx context.Context, _ int, od traj.ODInput) (infer.Result, error) {
+		return engNo.Do(ctx, od)
+	}
+	report.Modes = append(report.Modes, run("engine", engine, engNo))
 	engNo.Close()
 
-	engCache, err := newEngine(65536)
+	engCache, err := newEngine(65536, nil)
 	if err != nil {
 		return err
 	}
-	report.Modes = append(report.Modes, run("engine+cache", engCache.Do, engCache))
+	cached := func(ctx context.Context, _ int, od traj.ODInput) (infer.Result, error) {
+		return engCache.Do(ctx, od)
+	}
+	report.Modes = append(report.Modes, run("engine+cache", cached, engCache))
 	engCache.Close()
 
 	report.SpeedupCachedVsDirect = report.Modes[2].QPS / report.Modes[0].QPS
 
+	// Feedback replay: the full quality loop on every request — the engine
+	// stamps each prediction into the monitor's pending table and the client
+	// immediately reports the record's observed travel time as ground truth.
+	// One hour-long window so the whole run lands in Current.
+	mon := quality.New(quality.Config{
+		Window:     time.Hour,
+		PendingTTL: time.Hour,
+		Cells:      cells,
+		Slotter:    m.Slotter(),
+		Registry:   obs.NewRegistry(),
+	})
+	engFb, err := newEngine(0, mon)
+	if err != nil {
+		return err
+	}
+	feedback := func(ctx context.Context, i int, od traj.ODInput) (infer.Result, error) {
+		res, err := engFb.Do(ctx, od)
+		if err != nil || res.PredictionID == "" {
+			return res, err
+		}
+		if _, ferr := mon.Feedback(res.PredictionID, actuals[i]); ferr != nil {
+			return res, ferr
+		}
+		return res, nil
+	}
+	report.Modes = append(report.Modes, run("engine+feedback", feedback, engFb))
+	engFb.Close()
+
+	st := mon.State()
+	fb := &report.Modes[3]
+	fb.Joined = st.Counters.Joined
+	if st.Current != nil && st.Current.Count > 0 {
+		fb.QualityMAESec = float64(st.Current.MAESeconds)
+	}
+	if report.Modes[1].QPS > 0 {
+		report.FeedbackOverheadPct = 100 * (1 - report.Modes[3].QPS/report.Modes[1].QPS)
+	}
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "Serving load benchmark — %s, %d clients, %d distinct ODs\n",
 		o.City, o.Concurrency, o.DistinctODs)
-	fmt.Fprintf(&b, "%-14s %10s %8s %10s %10s %8s %10s\n",
-		"mode", "QPS", "reqs", "p50 ms", "p99 ms", "errors", "cache hit")
+	fmt.Fprintf(&b, "%-16s %10s %8s %10s %10s %8s %10s %8s\n",
+		"mode", "QPS", "reqs", "p50 ms", "p99 ms", "errors", "cache hit", "joined")
 	for _, md := range report.Modes {
-		fmt.Fprintf(&b, "%-14s %10.0f %8d %10.3f %10.3f %8d %10d\n",
-			md.Name, md.QPS, md.Requests, md.P50Ms, md.P99Ms, md.Errors, md.CacheHits)
+		fmt.Fprintf(&b, "%-16s %10.0f %8d %10.3f %10.3f %8d %10d %8d\n",
+			md.Name, md.QPS, md.Requests, md.P50Ms, md.P99Ms, md.Errors, md.CacheHits, md.Joined)
 	}
 	fmt.Fprintf(&b, "cached throughput vs direct: %.1fx\n", report.SpeedupCachedVsDirect)
+	fmt.Fprintf(&b, "quality monitoring overhead vs bare engine: %.1f%% (online MAE %.1fs over %d joined)\n",
+		report.FeedbackOverheadPct, fb.QualityMAESec, fb.Joined)
 	fmt.Println(b.String())
 
 	f, err := os.Create(o.Out)

@@ -43,12 +43,30 @@ import (
 	"time"
 
 	"deepod"
+	"deepod/internal/core"
 	"deepod/internal/infer"
 	"deepod/internal/obs"
+	"deepod/internal/quality"
 	"deepod/internal/roadnet"
 	"deepod/internal/serve"
 	"deepod/internal/traj"
 )
+
+// modelEstimator adapts *core.Model to the Estimator interface for the
+// startup-train reference-distribution pass.
+type modelEstimator struct{ m *core.Model }
+
+func (e *modelEstimator) Name() string                          { return "DeepOD" }
+func (e *modelEstimator) Estimate(od *deepod.MatchedOD) float64 { return e.m.Estimate(od) }
+
+// recorderOrNil keeps a nil *quality.Monitor from becoming a non-nil
+// PredictionRecorder interface on the engine config.
+func recorderOrNil(mon *quality.Monitor) infer.PredictionRecorder {
+	if mon == nil {
+		return nil
+	}
+	return mon
+}
 
 func main() {
 	var (
@@ -79,6 +97,11 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 0.01, "probability of retaining a normal (non-error, non-slow) trace")
 
 		runtimeEvery = flag.Duration("runtime-stats", 10*time.Second, "runtime stats (goroutines, heap, GC) sampling period; 0 disables")
+
+		qualityOn      = flag.Bool("quality", true, "online model-quality monitoring: stamp predictions, accept POST /feedback, serve GET /debug/quality (engine path only)")
+		qualityWindow  = flag.Duration("quality-window", time.Minute, "quality metric aggregation window")
+		pendingTTL     = flag.Duration("pending-ttl", 10*time.Minute, "how long a stamped prediction waits for feedback before expiring")
+		driftThreshold = flag.Float64("drift-threshold", 0.2, "PSI above which the error distribution counts as drifted")
 	)
 	flag.Parse()
 
@@ -114,6 +137,9 @@ func main() {
 		if err != nil {
 			fatal("startup training", err)
 		}
+		// A startup-trained model has no checkpoint to carry a drift
+		// reference, so record its test-split error distribution here.
+		m.SetRefDist(deepod.ErrorRefDist(&modelEstimator{m}, c.Split.Test))
 		snap = infer.ModelSnapshot(fmt.Sprintf("startup-train-seed%d", *seed), m)
 	}
 	matcher, err := deepod.NewMatcher(c.Graph)
@@ -169,12 +195,31 @@ func main() {
 	scfg.External = c.Grid.External
 	if *direct {
 		logger.Info("engine disabled (-direct): serving synchronous per-request path")
+		if *qualityOn {
+			logger.Info("quality monitoring needs the engine path for prediction stamping; disabled under -direct")
+		}
 		scfg.Match = match
 		scfg.Estimate = snap.Estimate
 	} else {
 		cells, err := roadnet.NewEdgeIndex(c.Graph, *cacheCell)
 		if err != nil {
 			fatal("building cache quantizer", err)
+		}
+		var mon *quality.Monitor
+		if *qualityOn {
+			mon = quality.New(quality.Config{
+				Window:         *qualityWindow,
+				PendingTTL:     *pendingTTL,
+				DriftThreshold: *driftThreshold,
+				Reference:      snap.RefDist,
+				ReferenceModel: snap.ID,
+				Cells:          cells, // same quantizer as the estimate cache
+				Slotter:        snap.Slotter,
+				Logger:         logger,
+			})
+			if snap.RefDist == nil {
+				logger.Info("quality: no reference error distribution in the model; drift detection off until a reload provides one")
+			}
 		}
 		eng, err := infer.New(infer.Config{
 			Match:        match,
@@ -187,6 +232,7 @@ func main() {
 			CacheTTL:     *cacheTTL,
 			Cells:        cells,
 			Slotter:      snap.Slotter,
+			Recorder:     recorderOrNil(mon),
 		})
 		if err != nil {
 			fatal("building engine", err)
@@ -195,6 +241,7 @@ func main() {
 		scfg.Infer = eng.Do
 		scfg.Version = eng.Version
 		scfg.Ready = eng.Readiness
+		scfg.Quality = mon
 
 		reload := func(ctx context.Context) (map[string]any, error) {
 			if *modelPath == "" {
@@ -209,6 +256,12 @@ func main() {
 			if err != nil {
 				eng.RecordReloadFailure(err)
 				return nil, err
+			}
+			if mon != nil {
+				// Pending predictions from the old model still join (their
+				// entries carry the old generation); only the drift baseline
+				// follows the new checkpoint.
+				mon.SetReference(next.RefDist, next.ID)
 			}
 			logger.InfoContext(ctx, "model reloaded", "model", next.ID, "previous", prev.ID)
 			return map[string]any{"model": next.ID, "previous": prev.ID}, nil

@@ -65,6 +65,10 @@ func main() {
 		fmt.Printf("trained in %v (%d steps, converged at step %d)\n",
 			stats.Elapsed.Round(time.Millisecond), stats.Steps, stats.ConvergedStep)
 		printPhaseBreakdown()
+		// Record the test-split error distribution into the model before
+		// saving: it travels with the checkpoint as the drift reference for
+		// the serving-time quality monitor.
+		m.SetRefDist(deepod.ErrorRefDist(&modelEstimator{m}, c.Split.Test))
 		if *save != "" {
 			f, err := os.Create(*save)
 			if err != nil {

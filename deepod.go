@@ -20,6 +20,7 @@ package deepod
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"deepod/internal/citysim"
@@ -255,6 +256,18 @@ func Evaluate(est Estimator, test []TripRecord) (mae, mape, mare float64) {
 		pred[i] = est.Estimate(&test[i].Matched)
 	}
 	return metrics.MAE(actual, pred), metrics.MAPE(actual, pred), metrics.MARE(actual, pred)
+}
+
+// ErrorRefDist bins the per-sample absolute errors of est over test into a
+// reference distribution — the drift baseline internal/quality compares
+// live serving errors against. ttetrain records it into the checkpoint so
+// tteserve can arm drift detection on load.
+func ErrorRefDist(est Estimator, test []TripRecord) *metrics.RefDist {
+	d := metrics.NewRefDist(nil)
+	for i := range test {
+		d.Observe(math.Abs(test[i].TravelSec - est.Estimate(&test[i].Matched)))
+	}
+	return d
 }
 
 // Experiment scales for the benchmark harness (see internal/experiments).

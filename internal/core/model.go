@@ -6,6 +6,7 @@ import (
 
 	"deepod/internal/citysim"
 	"deepod/internal/geo"
+	"deepod/internal/metrics"
 	"deepod/internal/nn"
 	"deepod/internal/roadnet"
 	"deepod/internal/timeslot"
@@ -53,6 +54,11 @@ type Model struct {
 	bounds    geo.Rect
 	timeScale float64 // mean training travel time, seconds
 	horizon   float64 // dataset horizon, for T-stamp scaling sanity
+
+	// refDist is the test-split absolute-error distribution recorded at
+	// training time — the drift reference for internal/quality. Nil for
+	// models trained before it existed or never evaluated.
+	refDist *metrics.RefDist
 
 	// stepDim is the per-step input size of the LSTM.
 	stepDim int
@@ -176,6 +182,20 @@ func (m *Model) SetTimeScale(s float64) {
 		panic(fmt.Sprintf("core: time scale must be positive, got %v", s))
 	}
 	m.timeScale = s
+}
+
+// RefDist returns the training-time reference error distribution, or nil
+// when the checkpoint predates it or training skipped evaluation.
+func (m *Model) RefDist() *metrics.RefDist { return m.refDist }
+
+// SetRefDist records the reference error distribution to be persisted by
+// Save. An invalid distribution is rejected (kept nil) rather than poisoning
+// the checkpoint.
+func (m *Model) SetRefDist(d *metrics.RefDist) {
+	if d != nil && d.Validate() != nil {
+		d = nil
+	}
+	m.refDist = d
 }
 
 // SlotEmbeddingTable returns the raw Wt values (used by the Figure 14b

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"deepod/internal/metrics"
 	"deepod/internal/nn"
 	"deepod/internal/roadnet"
 )
@@ -16,6 +17,11 @@ type savedModel struct {
 	TimeScale float64
 	NumEdges  int
 	Params    nn.Snapshot
+	// RefDist is the test-split absolute-error distribution recorded at
+	// training time (drift reference for internal/quality). gob tolerates
+	// its absence, so checkpoints written before this field load fine and
+	// leave it nil.
+	RefDist *metrics.RefDist
 }
 
 // Save serializes the trained model to w. The road network itself is not
@@ -27,6 +33,7 @@ func (m *Model) Save(w io.Writer) error {
 		TimeScale: m.timeScale,
 		NumEdges:  m.g.NumEdges(),
 		Params:    m.ps.Save(),
+		RefDist:   m.refDist,
 	}
 	if err := gob.NewEncoder(w).Encode(&s); err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
@@ -52,5 +59,6 @@ func Load(r io.Reader, g *roadnet.Graph) (*Model, error) {
 		return nil, err
 	}
 	m.SetTimeScale(s.TimeScale)
+	m.SetRefDist(s.RefDist)
 	return m, nil
 }

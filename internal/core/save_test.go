@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"deepod/internal/dataset"
+	"deepod/internal/metrics"
 	"deepod/internal/roadnet"
 )
 
@@ -23,6 +24,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if _, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 3}); err != nil {
 		t.Fatal(err)
 	}
+	ref := metrics.RefDistOf([]float64{5, 12, 40, 200}, nil)
+	m.SetRefDist(ref)
 
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
@@ -40,6 +43,45 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if loaded.TimeScale() != m.TimeScale() {
 		t.Fatal("time scale not restored")
+	}
+	got := loaded.RefDist()
+	if got == nil || got.Total() != ref.Total() || len(got.Uppers) != len(ref.Uppers) {
+		t.Fatalf("reference error distribution not restored: %+v", got)
+	}
+}
+
+// Checkpoints written before the RefDist field existed must still load —
+// gob ignores absent fields — and report a nil reference.
+func TestLoadWithoutRefDist(t *testing.T) {
+	g, recs := testWorld(t, 120)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Epochs = 1
+	m, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil { // refDist never set → nil on disk
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.RefDist() != nil {
+		t.Fatal("nil reference distribution round-tripped as non-nil")
+	}
+	// SetRefDist guards the checkpoint against invalid distributions.
+	loaded.SetRefDist(&metrics.RefDist{Uppers: []float64{2, 1}, Counts: make([]uint64, 3)})
+	if loaded.RefDist() != nil {
+		t.Fatal("invalid reference distribution accepted")
 	}
 }
 

@@ -74,6 +74,14 @@ type Quantizer interface {
 	CellIndex(p geo.Point) int
 }
 
+// PredictionRecorder is notified of every served estimate and returns a
+// prediction ID that is echoed to the client, so ground-truth feedback can
+// be joined back to the exact prediction (and model generation) that was
+// served. Implemented by quality.Monitor; must be safe for concurrent use.
+type PredictionRecorder interface {
+	RecordPrediction(od traj.ODInput, seconds float64, snapshotID string, generation uint64) string
+}
+
 // Config assembles an Engine.
 type Config struct {
 	// Match snaps an OD input onto road segments. Required. It is called
@@ -114,6 +122,12 @@ type Config struct {
 	// Slotter quantizes departure times for cache keys.
 	Slotter *timeslot.Slotter
 
+	// Recorder, when non-nil, stamps every served estimate (cache hits
+	// included — a cached answer is still a served prediction) with an ID
+	// for ground-truth joining. Nil disables stamping; the only cost left
+	// on the serve path is one nil check (see the overhead gate test).
+	Recorder PredictionRecorder
+
 	// Registry receives engine metrics (default obs.Default()).
 	Registry *obs.Registry
 	// Now overrides the clock (tests); defaults to time.Now.
@@ -130,6 +144,9 @@ type Result struct {
 	// cached answers, the snapshot that originally computed it — which by
 	// the generation check is the live one).
 	SnapshotID string
+	// PredictionID is the quality monitor's join handle for this estimate;
+	// empty when no Recorder is configured.
+	PredictionID string
 }
 
 // installed pairs a snapshot with its generation number. The generation
@@ -143,6 +160,7 @@ type installed struct {
 type outcome struct {
 	sec    float64
 	snapID string
+	predID string
 	err    error
 }
 
@@ -434,7 +452,8 @@ func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
 		cspan.SetBool("hit", ok)
 		cspan.End()
 		if ok {
-			return Result{Seconds: sec, Cached: true, SnapshotID: inst.snap.ID}, nil
+			return Result{Seconds: sec, Cached: true, SnapshotID: inst.snap.ID,
+				PredictionID: e.stamp(od, sec, inst)}, nil
 		}
 	}
 
@@ -496,7 +515,18 @@ func (out outcome) result() (Result, error) {
 	if out.err != nil {
 		return Result{}, out.err
 	}
-	return Result{Seconds: out.sec, SnapshotID: out.snapID}, nil
+	return Result{Seconds: out.sec, SnapshotID: out.snapID, PredictionID: out.predID}, nil
+}
+
+// stamp hands one served estimate to the prediction recorder, returning
+// the ID to echo, or "" with no recorder. This is the only quality-monitor
+// cost on the serve path; disabled it must stay a nanosecond-scale nil
+// check (enforced by TestPredictionStampDisabledOverhead).
+func (e *Engine) stamp(od traj.ODInput, sec float64, inst *installed) string {
+	if e.cfg.Recorder == nil {
+		return ""
+	}
+	return e.cfg.Recorder.RecordPrediction(od, sec, inst.snap.ID, inst.gen)
 }
 
 // worker serves batches until the queue closes. The snapshot is loaded
@@ -555,7 +585,7 @@ func (e *Engine) worker() {
 				e.cache.put(e.keyOf(j.od), sec, inst.gen, e.now())
 			}
 			bspan.End()
-			j.done <- outcome{sec: sec, snapID: inst.snap.ID}
+			j.done <- outcome{sec: sec, snapID: inst.snap.ID, predID: e.stamp(j.od, sec, inst)}
 		}
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package infer
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; timing gates skip under it (its per-access instrumentation makes
+// nanosecond bounds meaningless).
+const raceEnabled = false

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"deepod/internal/core"
+	"deepod/internal/metrics"
 	"deepod/internal/obs"
 	"deepod/internal/roadnet"
 	"deepod/internal/timeslot"
@@ -35,6 +36,10 @@ type Snapshot struct {
 	// Slotter is the model's time discretizer, handed to the engine for
 	// cache-key quantization (nil for stub snapshots in tests).
 	Slotter *timeslot.Slotter
+	// RefDist is the training-time error distribution carried in the
+	// checkpoint — the drift reference the quality monitor re-arms with on
+	// every hot reload. Nil for checkpoints that predate it.
+	RefDist *metrics.RefDist
 	// LoadedAt is when the snapshot was built (set by Swap if zero).
 	LoadedAt time.Time
 }
@@ -49,6 +54,7 @@ func ModelSnapshot(id string, m *core.Model) *Snapshot {
 			"edges":   m.Graph().NumEdges(),
 		},
 		Slotter:  m.Slotter(),
+		RefDist:  m.RefDist(),
 		LoadedAt: time.Now(),
 	}
 }

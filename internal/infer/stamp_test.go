@@ -1,0 +1,154 @@
+package infer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepod/internal/traj"
+)
+
+// stubRecorder records every stamp it hands out.
+type stubRecorder struct {
+	mu    sync.Mutex
+	seq   int
+	calls []recordedStamp
+}
+
+type recordedStamp struct {
+	od         traj.ODInput
+	seconds    float64
+	snapshotID string
+	generation uint64
+}
+
+func (r *stubRecorder) RecordPrediction(od traj.ODInput, seconds float64, snapshotID string, generation uint64) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.calls = append(r.calls, recordedStamp{od, seconds, snapshotID, generation})
+	return fmt.Sprintf("p-%d", r.seq)
+}
+
+func TestPredictionStamping(t *testing.T) {
+	rec := &stubRecorder{}
+	cfg := testConfig(t, constSnapshot("m1", 42))
+	cfg.Recorder = rec
+	e := newTestEngine(t, cfg)
+
+	r1, err := e.Do(context.Background(), od(1, 1, 5, 5, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PredictionID != "p-1" {
+		t.Fatalf("worker-path result = %+v, want prediction p-1", r1)
+	}
+	// A cache hit is still a served prediction: it gets its own fresh ID.
+	r2, err := e.Do(context.Background(), od(1.2, 1.2, 5.2, 5.2, 700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached || r2.PredictionID != "p-2" {
+		t.Fatalf("cache-hit result = %+v, want cached with prediction p-2", r2)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.calls) != 2 {
+		t.Fatalf("recorder saw %d calls, want 2", len(rec.calls))
+	}
+	for i, c := range rec.calls {
+		if c.seconds != 42 || c.snapshotID != "m1" || c.generation == 0 {
+			t.Fatalf("call %d = %+v", i, c)
+		}
+	}
+	if rec.calls[0].generation != rec.calls[1].generation {
+		t.Fatalf("generations diverged without a swap: %+v", rec.calls)
+	}
+}
+
+// After a hot reload the stamp carries the new snapshot and generation, so
+// late feedback for pre-swap predictions still attributes to the old model.
+func TestPredictionStampingAcrossSwap(t *testing.T) {
+	rec := &stubRecorder{}
+	cfg := testConfig(t, constSnapshot("m1", 42))
+	cfg.CacheEntries = 0 // force the worker path both times
+	cfg.Recorder = rec
+	e := newTestEngine(t, cfg)
+
+	if _, err := e.Do(context.Background(), od(1, 1, 5, 5, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Swap(constSnapshot("m2", 99)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Do(context.Background(), od(1, 1, 5, 5, 600)); err != nil {
+		t.Fatal(err)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.calls) != 2 {
+		t.Fatalf("recorder saw %d calls, want 2", len(rec.calls))
+	}
+	before, after := rec.calls[0], rec.calls[1]
+	if before.snapshotID != "m1" || after.snapshotID != "m2" {
+		t.Fatalf("snapshots = %q, %q", before.snapshotID, after.snapshotID)
+	}
+	if after.generation != before.generation+1 {
+		t.Fatalf("generations = %d, %d; want +1 across the swap", before.generation, after.generation)
+	}
+}
+
+func TestNoRecorderMeansNoID(t *testing.T) {
+	e := newTestEngine(t, testConfig(t, constSnapshot("m1", 42)))
+	r, err := e.Do(context.Background(), od(1, 1, 5, 5, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PredictionID != "" {
+		t.Fatalf("prediction ID %q without a recorder", r.PredictionID)
+	}
+}
+
+// TestPredictionStampDisabledOverhead gates the cost quality monitoring
+// adds to the serve path when it is turned off: stamp with a nil recorder
+// must stay a nanosecond-scale nil check. The bound leaves slack for noisy
+// CI machines; what it catches is an accidental allocation, lock or
+// interface call sneaking onto the disabled path.
+func TestPredictionStampDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate, skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate, skipped under the race detector")
+	}
+	e := newTestEngine(t, testConfig(t, constSnapshot("m1", 42)))
+	inst := e.cur.Load()
+	in := od(1, 1, 5, 5, 600)
+	var sink atomic.Int64
+
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				if id := e.stamp(in, 42, inst); id == "" {
+					n++
+				}
+			}
+			sink.Store(int64(n))
+		})
+		if d := time.Duration(r.NsPerOp()); d < best {
+			best = d
+		}
+	}
+	const bound = 50 * time.Nanosecond
+	if best > bound {
+		t.Fatalf("disabled stamp overhead = %v per estimate, want <= %v", best, bound)
+	}
+	t.Logf("disabled stamp overhead: %v per estimate", best)
+}

@@ -11,8 +11,15 @@ import (
 )
 
 // MAE is the Mean Absolute Error (1/N) Σ |yᵢ − ŷᵢ| in the same unit as y.
+// Like MAPE and MARE it returns NaN on empty input — the mean of nothing is
+// undefined, and callers aggregating windows of live traffic (for example
+// internal/quality) must be able to ask about an empty window without
+// crashing.
 func MAE(actual, predicted []float64) float64 {
 	mustSameLen(actual, predicted)
+	if len(actual) == 0 {
+		return math.NaN()
+	}
 	var s float64
 	for i := range actual {
 		s += math.Abs(actual[i] - predicted[i])
@@ -23,8 +30,8 @@ func MAE(actual, predicted []float64) float64 {
 // MAPE is the Mean Absolute Percent Error (1/N) Σ |yᵢ − ŷᵢ| / yᵢ, returned
 // as a fraction (multiply by 100 for percent). Samples with a zero actual
 // value — a degenerate simulated trip — are skipped rather than killing
-// the run; MAPE returns NaN when every sample is skipped. Use MAPESkip to
-// also learn how many samples were dropped.
+// the run; MAPE returns NaN when every sample is skipped (which includes
+// empty input). Use MAPESkip to also learn how many samples were dropped.
 func MAPE(actual, predicted []float64) float64 {
 	v, _ := MAPESkip(actual, predicted)
 	return v
@@ -50,7 +57,8 @@ func MAPESkip(actual, predicted []float64) (mape float64, skipped int) {
 
 // MARE is the Mean Absolute Relative Error Σ|yᵢ − ŷᵢ| / Σ|yᵢ|, as a
 // fraction. It returns NaN when all actual values are zero (the ratio is
-// undefined) instead of panicking.
+// undefined, and an empty input is a special case of it) instead of
+// panicking.
 func MARE(actual, predicted []float64) float64 {
 	mustSameLen(actual, predicted)
 	var num, den float64
@@ -75,12 +83,13 @@ func PerSampleAPE(actual, predicted []float64) []float64 {
 	return out
 }
 
+// mustSameLen panics on mismatched slice lengths — always a programmer
+// error. Empty input is deliberately NOT a panic: MAE/MAPE/MARE answer NaN
+// for it, so online aggregators can query windows that happened to receive
+// no samples.
 func mustSameLen(a, b []float64) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("metrics: length mismatch %d vs %d", len(a), len(b)))
-	}
-	if len(a) == 0 {
-		panic("metrics: empty input")
 	}
 }
 

@@ -25,8 +25,9 @@ func TestBasicMetrics(t *testing.T) {
 
 func TestMetricsPanics(t *testing.T) {
 	for name, f := range map[string]func(){
-		"len mismatch": func() { MAE([]float64{1}, []float64{1, 2}) },
-		"empty":        func() { MAPE(nil, nil) },
+		"MAE len mismatch":  func() { MAE([]float64{1}, []float64{1, 2}) },
+		"MAPE len mismatch": func() { MAPE([]float64{1}, []float64{1, 2}) },
+		"MARE len mismatch": func() { MARE([]float64{1, 2}, []float64{1}) },
 	} {
 		func() {
 			defer func() {
@@ -36,6 +37,38 @@ func TestMetricsPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// Empty input is not a programmer error for the headline metrics: an
+// online quality window may simply have received no feedback yet. All
+// three answer NaN (the mean of nothing), on both nil and zero-length
+// slices.
+func TestEmptyInputIsNaN(t *testing.T) {
+	for name, got := range map[string]float64{
+		"MAE nil":    MAE(nil, nil),
+		"MAE empty":  MAE([]float64{}, []float64{}),
+		"MAPE nil":   MAPE(nil, nil),
+		"MAPE empty": MAPE([]float64{}, []float64{}),
+		"MARE nil":   MARE(nil, nil),
+		"MARE empty": MARE([]float64{}, []float64{}),
+	} {
+		if !math.IsNaN(got) {
+			t.Fatalf("%s = %v, want NaN", name, got)
+		}
+	}
+	mape, skipped := MAPESkip(nil, nil)
+	if !math.IsNaN(mape) || skipped != 0 {
+		t.Fatalf("MAPESkip(nil) = %v, %d, want NaN, 0", mape, skipped)
+	}
+	// The all-skipped path: every sample has a zero actual, so the empty
+	// and fully-degenerate cases answer identically.
+	mape, skipped = MAPESkip([]float64{0, 0, 0}, []float64{1, 2, 3})
+	if !math.IsNaN(mape) || skipped != 3 {
+		t.Fatalf("all-skipped MAPESkip = %v, %d, want NaN, 3", mape, skipped)
+	}
+	if out := PerSampleAPE(nil, nil); len(out) != 0 {
+		t.Fatalf("PerSampleAPE(nil) = %v, want empty", out)
 	}
 }
 

@@ -186,6 +186,13 @@ type Histogram struct {
 	sumBits atomic.Uint64
 }
 
+// NewHistogram returns a standalone histogram that is not registered in
+// any registry. Use it for short-lived aggregation windows — the quality
+// monitor keeps one per rotating window for abs-error quantiles — where
+// registering every window would leak families; the registry path
+// (Registry.Histogram) remains the way to expose a histogram on /metrics.
+func NewHistogram(uppers []float64) *Histogram { return newHistogram(uppers) }
+
 func newHistogram(uppers []float64) *Histogram {
 	for i := 1; i < len(uppers); i++ {
 		if uppers[i] <= uppers[i-1] {

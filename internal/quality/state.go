@@ -1,0 +1,254 @@
+package quality
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"deepod/internal/metrics"
+)
+
+// JSONFloat marshals NaN and ±Inf as null — encoding/json rejects them —
+// so empty-window metrics (MAE of nothing is NaN, see internal/metrics)
+// serialize cleanly.
+type JSONFloat float64
+
+// MarshalJSON renders non-finite values as null.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON reads null back as NaN.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// GenerationSummary is one model generation's error within a window —
+// after a hot reload, a window can mix predictions from both models and
+// this is where a regression in the new one shows first.
+type GenerationSummary struct {
+	Generation uint64    `json:"generation"`
+	Model      string    `json:"model"`
+	Count      int       `json:"count"`
+	MAESeconds JSONFloat `json:"mae_seconds"`
+}
+
+// HeatmapEntry is one cell (roadnet grid index) or time slot of the
+// worst-K error heatmap.
+type HeatmapEntry struct {
+	Key        int       `json:"key"`
+	Count      int       `json:"count"`
+	MAESeconds JSONFloat `json:"mae_seconds"`
+}
+
+// WindowSummary is the exported aggregate of one aggregation window.
+type WindowSummary struct {
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	Count       int       `json:"count"`
+	MAESeconds  JSONFloat `json:"mae_seconds"`
+	MAPE        JSONFloat `json:"mape"`
+	MAPESkipped int       `json:"mape_skipped,omitempty"`
+	MARE        JSONFloat `json:"mare"`
+	P50AbsError JSONFloat `json:"p50_abs_error_seconds"`
+	P95AbsError JSONFloat `json:"p95_abs_error_seconds"`
+	P99AbsError JSONFloat `json:"p99_abs_error_seconds"`
+	// PSI is the window's drift statistic vs the reference (null when
+	// drift is disabled or the window is under MinDriftSamples).
+	PSI         JSONFloat           `json:"psi"`
+	Generations []GenerationSummary `json:"generations,omitempty"`
+	WorstCells  []HeatmapEntry      `json:"worst_cells,omitempty"`
+	WorstSlots  []HeatmapEntry      `json:"worst_slots,omitempty"`
+}
+
+// PendingStats describes the pending-prediction table.
+type PendingStats struct {
+	Size       int     `json:"size"`
+	Capacity   int     `json:"capacity"`
+	TTLSeconds float64 `json:"ttl_seconds"`
+	Expired    uint64  `json:"expired"`
+	Evicted    uint64  `json:"evicted"`
+}
+
+// Counters are the monitor's lifetime totals.
+type Counters struct {
+	Predictions uint64 `json:"predictions"`
+	Joined      uint64 `json:"joined"`
+	Orphaned    uint64 `json:"orphaned"`
+}
+
+// DriftStatus reports the detector's live state.
+type DriftStatus struct {
+	// Enabled is false until a reference distribution is installed.
+	Enabled   bool      `json:"enabled"`
+	PSI       JSONFloat `json:"psi"`
+	Threshold float64   `json:"threshold"`
+	// Drifting is true when the current window's PSI exceeds Threshold.
+	Drifting         bool   `json:"drifting"`
+	ReferenceModel   string `json:"reference_model,omitempty"`
+	ReferenceSamples uint64 `json:"reference_samples,omitempty"`
+	WindowSamples    int    `json:"window_samples"`
+	MinSamples       int    `json:"min_samples"`
+}
+
+// State is the full /debug/quality payload.
+type State struct {
+	WindowSeconds float64          `json:"window_seconds"`
+	Current       *WindowSummary   `json:"current"`
+	Windows       []*WindowSummary `json:"windows"` // closed, newest first
+	Pending       PendingStats     `json:"pending"`
+	Counters      Counters         `json:"counters"`
+	Drift         DriftStatus      `json:"drift"`
+}
+
+// State snapshots the monitor: it rotates/sweeps first so the answer
+// reflects the clock, then summarizes under the lock.
+func (m *Monitor) State() State {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rotateLocked(now)
+	m.sweepLocked(now)
+
+	st := State{
+		WindowSeconds: m.cfg.Window.Seconds(),
+		Current:       m.summarizeLocked(m.cur, now),
+		Pending: PendingStats{
+			Size:       len(m.pending),
+			Capacity:   m.cfg.PendingMax,
+			TTLSeconds: m.cfg.PendingTTL.Seconds(),
+			Expired:    m.expiredTotal.Value(),
+			Evicted:    m.evictedTotal.Value(),
+		},
+		Counters: Counters{
+			Predictions: m.predictions.Value(),
+			Joined:      m.joinedTotal.Value(),
+			Orphaned:    m.orphanTotal.Value(),
+		},
+	}
+	for i := len(m.closed) - 1; i >= 0; i-- { // newest first
+		st.Windows = append(st.Windows, m.closed[i])
+	}
+
+	st.Drift = DriftStatus{
+		Enabled:        m.ref != nil,
+		PSI:            JSONFloat(math.NaN()),
+		Threshold:      m.cfg.DriftThreshold,
+		ReferenceModel: m.refModel,
+		WindowSamples:  m.cur.n,
+		MinSamples:     m.cfg.MinDriftSamples,
+	}
+	if m.ref != nil {
+		st.Drift.ReferenceSamples = m.ref.Total()
+		if psi := float64(st.Current.PSI); !math.IsNaN(psi) {
+			st.Drift.PSI = JSONFloat(psi)
+			st.Drift.Drifting = psi > m.cfg.DriftThreshold
+		}
+	}
+	return st
+}
+
+// summarizeLocked renders a window into its exported form. end is the
+// window's closing instant (its aligned boundary for closed windows, now
+// for the running one).
+func (m *Monitor) summarizeLocked(w *window, end time.Time) *WindowSummary {
+	s := &WindowSummary{
+		Start:       w.start,
+		End:         end,
+		Count:       w.n,
+		MAESeconds:  JSONFloat(math.NaN()),
+		MAPE:        JSONFloat(math.NaN()),
+		MAPESkipped: w.apeSkip,
+		MARE:        JSONFloat(math.NaN()),
+		P50AbsError: JSONFloat(w.hist.Quantile(0.50)),
+		P95AbsError: JSONFloat(w.hist.Quantile(0.95)),
+		P99AbsError: JSONFloat(w.hist.Quantile(0.99)),
+		PSI:         JSONFloat(math.NaN()),
+	}
+	if w.n > 0 {
+		s.MAESeconds = JSONFloat(w.sumAbs / float64(w.n))
+	}
+	if n := w.n - w.apeSkip; n > 0 {
+		s.MAPE = JSONFloat(w.sumAPE / float64(n))
+	}
+	if w.sumActual > 0 {
+		s.MARE = JSONFloat(w.sumAbs / w.sumActual)
+	}
+	if w.driftCounts != nil && w.n >= m.cfg.MinDriftSamples {
+		s.PSI = JSONFloat(metrics.PSI(m.refProbs, w.driftCounts))
+	}
+	for gen, g := range w.gens {
+		s.Generations = append(s.Generations, GenerationSummary{
+			Generation: gen,
+			Model:      g.model,
+			Count:      g.n,
+			MAESeconds: JSONFloat(g.sumAbs / float64(g.n)),
+		})
+	}
+	sort.Slice(s.Generations, func(i, j int) bool {
+		return s.Generations[i].Generation < s.Generations[j].Generation
+	})
+	s.WorstCells = worstK(w.cells, m.cfg.TopK)
+	s.WorstSlots = worstK(w.slots, m.cfg.TopK)
+	return s
+}
+
+// worstK ranks heatmap accumulators by mean absolute error, descending,
+// with deterministic tie-breaking (count desc, then key asc).
+func worstK(mp map[int]*accum, k int) []HeatmapEntry {
+	if len(mp) == 0 {
+		return nil
+	}
+	out := make([]HeatmapEntry, 0, len(mp))
+	for key, a := range mp {
+		out = append(out, HeatmapEntry{Key: key, Count: a.n, MAESeconds: JSONFloat(a.sumAbs / float64(a.n))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MAESeconds != out[j].MAESeconds {
+			return out[i].MAESeconds > out[j].MAESeconds
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Handler serves GET /debug/quality: the monitor's full state as JSON.
+// Like /metrics and /debug/traces it is served raw — reading quality state
+// must not create predictions or traces.
+func (m *Monitor) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodHead {
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.State())
+	})
+}

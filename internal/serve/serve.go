@@ -8,12 +8,14 @@
 // Routes:
 //
 //	POST /estimate      JSON OD input → travel time estimate
+//	POST /feedback      ground-truth travel time for a served prediction
 //	GET  /healthz       liveness + model summary
 //	GET  /readyz        readiness: 503 until a snapshot serves (k8s-style)
 //	GET  /version       live model snapshot, engine config and build info
 //	POST /reload        hot-swap the model checkpoint (when wired)
 //	GET  /metrics       Prometheus text exposition of the obs registry
 //	GET  /debug/traces  tail-sampled request traces (when Config.Traces set)
+//	GET  /debug/quality model-quality state (when Config.Quality set)
 //
 // Every route is wrapped with obs.Middleware (request counters by status
 // class, latency histograms, in-flight gauge, request logging), /estimate
@@ -47,6 +49,7 @@ import (
 	"deepod/internal/geo"
 	"deepod/internal/infer"
 	"deepod/internal/obs"
+	"deepod/internal/quality"
 	"deepod/internal/traj"
 )
 
@@ -111,6 +114,11 @@ type Config struct {
 	// Traces, when non-nil, enables request tracing and mounts the store's
 	// handler at /debug/traces.
 	Traces *obs.TraceStore
+	// Quality, when non-nil, accepts ground-truth feedback at POST
+	// /feedback and serves the model-quality state at GET /debug/quality.
+	// It only closes the loop on the engine path: the engine's Recorder
+	// stamps responses with the prediction IDs feedback joins against.
+	Quality *quality.Monitor
 }
 
 // Server is the assembled HTTP API.
@@ -143,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 		s.mux.Handle(pattern, mw.Wrap(pattern, h))
 	}
 	route("/estimate", s.handleEstimate)
+	route("/feedback", s.handleFeedback)
 	route("/healthz", s.handleHealth)
 	route("/readyz", s.handleReady)
 	route("/version", s.handleVersion)
@@ -151,6 +160,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Traces != nil {
 		// Served raw like /metrics: reading traces should not create them.
 		s.mux.Handle("/debug/traces", cfg.Traces.Handler())
+	}
+	if cfg.Quality != nil {
+		// Raw for the same reason as /metrics and /debug/traces.
+		s.mux.Handle("/debug/quality", cfg.Quality.Handler())
 	}
 	return s, nil
 }
@@ -173,6 +186,9 @@ type EstimateResponse struct {
 	// from the estimate cache and which model snapshot produced it.
 	Cached bool   `json:"cached,omitempty"`
 	Model  string `json:"model,omitempty"`
+	// PredictionID is set when quality monitoring is on: echo it back in
+	// POST /feedback with the trip's actual travel time.
+	PredictionID string `json:"prediction_id,omitempty"`
 }
 
 // validateRequest rejects inputs that must not reach map matching:
@@ -257,6 +273,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			TravelHuman:   humanDuration(res.Seconds),
 			Cached:        res.Cached,
 			Model:         res.SnapshotID,
+			PredictionID:  res.PredictionID,
 		})
 		return
 	}
@@ -275,6 +292,84 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		TravelSeconds: sec,
 		TravelHuman:   humanDuration(sec),
+	})
+}
+
+// FeedbackRequest is the POST /feedback body: the prediction ID echoed by
+// /estimate (trip_id is accepted as an alias — callers that key trips
+// themselves can pass their own handle through) plus the trip's actual
+// travel time once it completed.
+type FeedbackRequest struct {
+	PredictionID  string  `json:"prediction_id"`
+	TripID        string  `json:"trip_id,omitempty"`
+	ActualSeconds float64 `json:"actual_seconds"`
+}
+
+// FeedbackResponse is the POST /feedback success body.
+type FeedbackResponse struct {
+	// Joined reports whether the feedback matched a pending prediction.
+	// False means the ID is unknown, already answered, or waited past the
+	// pending TTL — all accepted (200) but counted as orphans.
+	Joined bool `json:"joined"`
+	// PredictedSeconds, AbsErrorSeconds and Model are set on a join.
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	AbsErrorSeconds  float64 `json:"abs_error_seconds,omitempty"`
+	Model            string  `json:"model,omitempty"`
+}
+
+// handleFeedback ingests ground truth for a served prediction and feeds
+// the quality monitor. 501 until Config.Quality is wired.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cfg.Quality == nil {
+		writeError(w, http.StatusNotImplemented, "quality monitoring is not wired on this server")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	ctx := r.Context()
+	_, decodeSpan := s.reg.StartSpan(ctx, "decode")
+	var req FeedbackRequest
+	err := json.NewDecoder(r.Body).Decode(&req)
+	decodeSpan.End()
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	id := req.PredictionID
+	if id == "" {
+		id = req.TripID
+	}
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "prediction_id (or trip_id) is required")
+		return
+	}
+
+	_, joinSpan := s.reg.StartSpan(ctx, "quality.join")
+	res, err := s.cfg.Quality.Feedback(id, req.ActualSeconds)
+	if err != nil {
+		joinSpan.Fail(err)
+		joinSpan.End()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	joinSpan.SetBool("joined", res.Joined)
+	joinSpan.End()
+	writeJSON(w, http.StatusOK, FeedbackResponse{
+		Joined:           res.Joined,
+		PredictedSeconds: res.PredictedSeconds,
+		AbsErrorSeconds:  res.AbsErrorSeconds,
+		Model:            res.Model,
 	})
 }
 

@@ -23,11 +23,14 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/...
+go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/...
 go test -race -run 'ConcurrentSafe|Trace' ./internal/core/
 
 echo "== tracebench gate (disabled-tracing span overhead)"
 go test -run 'TestUntracedSpanOverhead' ./internal/obs/
+
+echo "== quality gate (disabled quality-monitor stamp overhead)"
+go test -run 'TestPredictionStampDisabledOverhead' ./internal/infer/
 
 echo "== bench smoke (internal/infer + internal/obs spans)"
 go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
