@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt bench tracebench qualitybench servebench
+.PHONY: build test check race fmt bench tracebench qualitybench servebench trainbench
 
 build:
 	go build ./...
@@ -13,7 +13,8 @@ check:
 
 race:
 	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/...
-	go test -race -run 'ConcurrentSafe|Trace' ./internal/core/
+	go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
+	go test -race -run 'Parallel' ./internal/embed/
 
 fmt:
 	gofmt -w .
@@ -30,3 +31,6 @@ qualitybench:
 
 servebench:
 	go run ./cmd/ttebench -servebench
+
+trainbench:
+	go run ./cmd/ttebench -trainbench -trainbench-gate 2

@@ -7,6 +7,7 @@ package deepod
 // full-strength tables. Use -v / -benchtime=1x to see the rendered output.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -244,6 +245,7 @@ func BenchmarkEstimateDeepOD(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Estimate(&w.Split.Test[i%len(w.Split.Test)].Matched)
@@ -282,16 +284,21 @@ func BenchmarkTrainStep(b *testing.B) {
 	}
 	for _, batch := range []int{8, 32, 128} {
 		batch := batch
-		b.Run(sizeName(batch), func(b *testing.B) {
-			cfg := tinyBenchConfig()
-			cfg.BatchSize = batch
-			cfg.Epochs = 1 << 20 // MaxSteps terminates the run
-			m, err := TrainWithMaxSteps(cfg, city, b.N)
-			if err != nil {
-				b.Fatal(err)
-			}
-			_ = m
-		})
+		for _, workers := range []int{1, 2} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers%d", sizeName(batch), workers), func(b *testing.B) {
+				cfg := tinyBenchConfig()
+				cfg.BatchSize = batch
+				cfg.Epochs = 1 << 20 // MaxSteps terminates the run
+				cfg.TrainWorkers = workers
+				b.ReportAllocs()
+				m, err := TrainWithMaxSteps(cfg, city, b.N)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = m
+			})
+		}
 	}
 }
 

@@ -17,6 +17,12 @@
 // with and without its estimate cache, on a repeated-OD workload. It
 // prints QPS / p50 / p99 per mode and writes the report to
 // -servebench-out (default BENCH_serve.json).
+//
+// With -trainbench, ttebench measures offline-training throughput
+// (steps/sec, samples/sec, ns and allocs per sample) at several
+// -train-workers counts on one TinyScale city and writes the report to
+// -trainbench-out (default BENCH_train.json). -trainbench-gate enforces a
+// minimum 4-worker/1-worker samples/sec ratio on machines with >= 4 CPUs.
 package main
 
 import (
@@ -44,8 +50,39 @@ func main() {
 		sbOrders      = flag.Int("servebench-orders", 400, "orders synthesized for the workload city")
 		sbSeed        = flag.Int64("servebench-seed", 1, "workload random seed")
 		sbOut         = flag.String("servebench-out", "BENCH_serve.json", "JSON report path")
+
+		trainbench = flag.Bool("trainbench", false, "run the training throughput benchmark instead of the paper experiments")
+		tbCity     = flag.String("trainbench-city", "chengdu-s", "city preset for -trainbench")
+		tbOrders   = flag.Int("trainbench-orders", 300, "orders synthesized for the benchmark city")
+		tbSteps    = flag.Int("trainbench-steps", 30, "optimizer steps measured per worker count")
+		tbBatch    = flag.Int("trainbench-batch", 32, "mini-batch size")
+		tbWorkers  = flag.String("trainbench-workers", "", "comma-separated worker counts (default \"1,2,GOMAXPROCS\")")
+		tbSeed     = flag.Int64("trainbench-seed", 1, "city random seed")
+		tbOut      = flag.String("trainbench-out", "BENCH_train.json", "JSON report path")
+		tbGate     = flag.Float64("trainbench-gate", 0, "fail below this 4-worker/1-worker samples/sec ratio (0 disables; skipped on <4-CPU machines)")
 	)
 	flag.Parse()
+
+	if *trainbench {
+		workers, err := parseWorkerList(*tbWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = runTrainBench(trainBenchOptions{
+			City:    *tbCity,
+			Orders:  *tbOrders,
+			Steps:   *tbSteps,
+			Batch:   *tbBatch,
+			Workers: workers,
+			Seed:    *tbSeed,
+			Out:     *tbOut,
+			Gate:    *tbGate,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *servebench {
 		err := runServeBench(serveBenchOptions{

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"deepod"
+)
+
+// trainBenchOptions configures the training throughput benchmark
+// (-trainbench).
+type trainBenchOptions struct {
+	City    string
+	Orders  int
+	Steps   int
+	Batch   int
+	Workers []int
+	Seed    int64
+	Out     string
+	// Gate, when > 0, makes the run fail unless samples/sec at 4 workers is
+	// at least Gate × the 1-worker throughput. Enforced only on machines
+	// with ≥ 4 CPUs — a 1-core runner cannot demonstrate parallel speedup.
+	Gate float64
+}
+
+// trainBenchMode is one measured worker count.
+type trainBenchMode struct {
+	Workers       int     `json:"workers"`
+	Steps         int     `json:"steps"`
+	Samples       int     `json:"samples"`
+	OptimSec      float64 `json:"optim_sec"` // Train wall time minus embedding pre-training
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	NsPerSample   float64 `json:"ns_per_sample"`
+	// AllocsPerSample is the process-wide heap-allocation delta across the
+	// run divided by samples — the arena/pooling regression signal.
+	AllocsPerSample float64 `json:"allocs_per_sample"`
+	FinalValMAE     float64 `json:"final_val_mae_sec"`
+}
+
+// trainBenchReport is the BENCH_train.json payload.
+type trainBenchReport struct {
+	City       string           `json:"city"`
+	Orders     int              `json:"orders"`
+	BatchSize  int              `json:"batch_size"`
+	MaxSteps   int              `json:"max_steps"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Modes      []trainBenchMode `json:"modes"`
+	// SpeedupBestVs1 is best samples/sec over the 1-worker samples/sec;
+	// Speedup4Vs1 is the 4-worker ratio (0 when 4 workers was not run).
+	SpeedupBestVs1 float64 `json:"speedup_best_vs_1"`
+	Speedup4Vs1    float64 `json:"speedup_4_vs_1,omitempty"`
+	GateThreshold  float64 `json:"gate_threshold,omitempty"`
+	GateEnforced   bool    `json:"gate_enforced"`
+}
+
+// trainBenchConfig mirrors the TinyScale model dimensions so one step is
+// cheap enough to benchmark many worker counts in seconds.
+func trainBenchConfig() deepod.Config {
+	c := deepod.SmallConfig()
+	c.Ds, c.Dt = 8, 8
+	c.D1m, c.D2m, c.D3m, c.D4m = 16, 8, 16, 8
+	c.D5m, c.D6m, c.D7m, c.D9m = 16, 8, 16, 16
+	c.Dh, c.Dtraf = 16, 8
+	c.EmbedWalks, c.EmbedEpochs = 1, 1
+	return c
+}
+
+// parseWorkerList parses "1,2,4"; an empty string yields 1, 2 and
+// GOMAXPROCS (deduplicated, sorted).
+func parseWorkerList(s string) ([]int, error) {
+	set := map[int]bool{}
+	if s == "" {
+		set[1], set[2], set[runtime.GOMAXPROCS(0)] = true, true, true
+	} else {
+		for _, f := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad worker count %q", f)
+			}
+			set[n] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// runTrainBench measures offline-training throughput (steps/sec and
+// samples/sec, plus ns and allocations per sample) for each worker count on
+// the same city, seed and step budget, writes BENCH_train.json, and
+// optionally enforces the parallel-speedup gate.
+func runTrainBench(o trainBenchOptions) error {
+	city, err := deepod.BuildCity(o.City, deepod.CityOptions{Orders: o.Orders, HorizonDays: 14, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	rep := trainBenchReport{
+		City: o.City, Orders: o.Orders, BatchSize: o.Batch, MaxSteps: o.Steps,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GateThreshold: o.Gate,
+	}
+	log.Printf("trainbench: city=%s orders=%d batch=%d steps=%d cpus=%d",
+		o.City, o.Orders, o.Batch, o.Steps, rep.NumCPU)
+
+	for _, workers := range o.Workers {
+		cfg := trainBenchConfig()
+		cfg.BatchSize = o.Batch
+		cfg.Epochs = 1 << 20 // MaxSteps terminates the run
+		cfg.TrainWorkers = workers
+		opts := deepod.TrainOptions{MaxSteps: o.Steps, ValSample: 50}
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		_, stats, err := deepod.TrainWithStats(cfg, city, &opts)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return fmt.Errorf("trainbench workers=%d: %w", workers, err)
+		}
+
+		optim := wall - stats.EmbedElapsed
+		if optim <= 0 {
+			optim = wall
+		}
+		mode := trainBenchMode{
+			Workers:         workers,
+			Steps:           stats.Steps,
+			Samples:         stats.SamplesSeen,
+			OptimSec:        optim.Seconds(),
+			StepsPerSec:     float64(stats.Steps) / optim.Seconds(),
+			SamplesPerSec:   float64(stats.SamplesSeen) / optim.Seconds(),
+			NsPerSample:     float64(optim.Nanoseconds()) / float64(stats.SamplesSeen),
+			AllocsPerSample: float64(after.Mallocs-before.Mallocs) / float64(stats.SamplesSeen),
+			FinalValMAE:     stats.FinalValMAE,
+		}
+		rep.Modes = append(rep.Modes, mode)
+		log.Printf("  workers=%-2d  %7.1f samples/s  %6.2f steps/s  %8.0f allocs/sample  val MAE %.1fs",
+			workers, mode.SamplesPerSec, mode.StepsPerSec, mode.AllocsPerSample, mode.FinalValMAE)
+	}
+
+	var base, best, four float64
+	for _, m := range rep.Modes {
+		if m.Workers == 1 {
+			base = m.SamplesPerSec
+		}
+		if m.Workers == 4 {
+			four = m.SamplesPerSec
+		}
+		if m.SamplesPerSec > best {
+			best = m.SamplesPerSec
+		}
+	}
+	if base > 0 {
+		rep.SpeedupBestVs1 = best / base
+		if four > 0 {
+			rep.Speedup4Vs1 = four / base
+		}
+	}
+
+	if o.Gate > 0 {
+		switch {
+		case rep.NumCPU < 4:
+			log.Printf("trainbench: speedup gate skipped — %d CPU(s) cannot demonstrate 4-worker scaling", rep.NumCPU)
+		case four == 0 || base == 0:
+			log.Printf("trainbench: speedup gate skipped — need both 1- and 4-worker runs (got workers=%v)", o.Workers)
+		default:
+			rep.GateEnforced = true
+		}
+	}
+
+	if err := writeTrainBenchReport(o.Out, &rep); err != nil {
+		return err
+	}
+	log.Printf("trainbench: best speedup %.2fx vs 1 worker; report written to %s", rep.SpeedupBestVs1, o.Out)
+
+	if rep.GateEnforced && rep.Speedup4Vs1 < o.Gate {
+		return fmt.Errorf("trainbench: speedup gate failed: 4 workers reached %.2fx of 1-worker throughput, want >= %.2fx",
+			rep.Speedup4Vs1, o.Gate)
+	}
+	return nil
+}
+
+func writeTrainBenchReport(path string, rep *trainBenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

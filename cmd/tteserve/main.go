@@ -39,6 +39,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -74,6 +75,7 @@ func main() {
 		orders    = flag.Int("orders", 1200, "orders used if training at startup")
 		seed      = flag.Int64("seed", 1, "random seed")
 		modelPath = flag.String("model", "", "model saved by ttetrain (empty = train at startup)")
+		trainWork = flag.Int("train-workers", runtime.GOMAXPROCS(0), "data-parallel workers for startup training; 1 = serial")
 		addr      = flag.String("addr", ":8080", "listen address")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum /estimate body bytes")
@@ -131,8 +133,9 @@ func main() {
 		}
 		logger.Info("model loaded", "model", snap.ID, "path", *modelPath)
 	} else {
-		logger.Info("training model at startup", "orders", *orders)
+		logger.Info("training model at startup", "orders", *orders, "train_workers", *trainWork)
 		cfg := deepod.SmallConfig()
+		cfg.TrainWorkers = *trainWork
 		m, err := deepod.Train(cfg, c, nil)
 		if err != nil {
 			fatal("startup training", err)

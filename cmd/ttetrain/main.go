@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"deepod"
@@ -24,14 +25,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ttetrain: ")
 	var (
-		city   = flag.String("city", "chengdu-s", "city preset")
-		orders = flag.Int("orders", 2000, "number of taxi orders")
-		days   = flag.Int("days", 28, "simulated horizon in days")
-		seed   = flag.Int64("seed", 1, "random seed")
-		method = flag.String("method", "DeepOD", "DeepOD, TEMP, LR, GBM, STNN or MURAT")
-		epochs = flag.Int("epochs", 0, "override training epochs (DeepOD)")
-		aux    = flag.Float64("aux", -1, "override auxiliary-loss weight w (DeepOD)")
-		save   = flag.String("save", "", "save the trained DeepOD model to this path")
+		city    = flag.String("city", "chengdu-s", "city preset")
+		orders  = flag.Int("orders", 2000, "number of taxi orders")
+		days    = flag.Int("days", 28, "simulated horizon in days")
+		seed    = flag.Int64("seed", 1, "random seed")
+		method  = flag.String("method", "DeepOD", "DeepOD, TEMP, LR, GBM, STNN or MURAT")
+		epochs  = flag.Int("epochs", 0, "override training epochs (DeepOD)")
+		aux     = flag.Float64("aux", -1, "override auxiliary-loss weight w (DeepOD)")
+		workers = flag.Int("train-workers", runtime.GOMAXPROCS(0), "data-parallel training workers (DeepOD); 1 = serial")
+		save    = flag.String("save", "", "save the trained DeepOD model to this path")
 	)
 	flag.Parse()
 
@@ -54,6 +56,7 @@ func main() {
 		if *aux >= 0 {
 			cfg.AuxWeight = *aux
 		}
+		cfg.TrainWorkers = *workers
 		m, stats, err := deepod.TrainWithStats(cfg, c, &deepod.TrainOptions{
 			Progress: func(epoch, step int, valMAE float64) {
 				fmt.Printf("  epoch %d step %d: validation MAE %.1fs\n", epoch, step, valMAE)

@@ -97,6 +97,15 @@ type Config struct {
 	// EmbedWalks / EmbedEpochs scale the node2vec pre-training effort.
 	EmbedWalks, EmbedEpochs int
 
+	// TrainWorkers shards each mini-batch (and validation sweeps, and the
+	// node2vec pre-training) across this many workers. Each worker owns a
+	// reusable tape and a private gradient buffer; buffers are reduced in
+	// fixed worker-index order, so a given seed + worker count is
+	// bit-reproducible. 0 or 1 means serial, which reproduces the
+	// historical single-goroutine results exactly. See DESIGN.md
+	// "Training performance".
+	TrainWorkers int
+
 	// Seed drives parameter init and batch shuffling.
 	Seed int64
 }
@@ -178,6 +187,9 @@ func (c Config) Validate() error {
 	}
 	if c.LRInitial <= 0 {
 		return fmt.Errorf("core: LRInitial must be positive, got %v", c.LRInitial)
+	}
+	if c.TrainWorkers < 0 {
+		return fmt.Errorf("core: TrainWorkers must be non-negative, got %d", c.TrainWorkers)
 	}
 	switch c.TimeInit {
 	case TimeWeekGraph, TimeOneHot, TimeDayGraph, TimeStamp:

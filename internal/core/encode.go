@@ -5,7 +5,6 @@ import (
 
 	"deepod/internal/nn"
 	"deepod/internal/roadnet"
-	"deepod/internal/tensor"
 	"deepod/internal/traj"
 )
 
@@ -20,7 +19,7 @@ const maxSpeedNorm = 16.0
 func (m *Model) encodeTimeInterval(tp *nn.Tape, enter, exit float64) *nn.Node {
 	if m.cfg.TimeInit == TimeStamp {
 		// T-stamp variant: raw timestamps straight into an MLP.
-		raw := tp.Const(tensor.Vector(enter, exit))
+		raw := tp.ConstVec(enter, exit)
 		return m.tieStampMLP.Forward(tp, raw)
 	}
 	s1, r1 := m.slotter.Split(enter)
@@ -49,7 +48,7 @@ func (m *Model) encodeTimeInterval(tp *nn.Tape, enter, exit float64) *nn.Node {
 	z3 := m.tieConv3.Forward(tp, z2)             // Formula 7
 	z4 := tp.Add(dmat, tp.Reshape(z3, span, dt)) // Formula 8: Dt ⊕ Z³
 	z5 := tp.MeanCols(z4)                        // Formula 10: average pooling
-	z6 := tp.Concat(z5, tp.Const(tensor.Vector(r1/m.slotter.Delta, r2/m.slotter.Delta)))
+	z6 := tp.Concat(z5, tp.ConstVec(r1/m.slotter.Delta, r2/m.slotter.Delta))
 	return m.tieMLP.Forward(tp, z6) // Formula 11
 }
 
@@ -78,14 +77,14 @@ func (m *Model) encodeTrajectory(tp *nn.Tape, t *traj.Trajectory) *nn.Node {
 		}
 		if m.cfg.NoSpatial {
 			x, y := m.edgeMidNorm(s.Edge)
-			parts = append(parts, tp.Const(tensor.Vector(x, y)))
+			parts = append(parts, tp.ConstVec(x, y))
 		} else {
 			parts = append(parts, m.roadEmb.Lookup(tp, int(s.Edge)))
 		}
 		steps[i] = tp.Concat(parts...)
 	}
 	h := m.lstm.Forward(tp, steps)
-	z7 := tp.Concat(h, tp.Const(tensor.Vector(t.RStart, t.REnd)))
+	z7 := tp.Concat(h, tp.ConstVec(t.RStart, t.REnd))
 	return m.trajMLP.Forward(tp, z7) // Formula 17
 }
 
@@ -93,18 +92,18 @@ func (m *Model) encodeTrajectory(tp *nn.Tape, t *traj.Trajectory) *nn.Node {
 // Formula 18): a one-hot weather vector and a CNN-compressed speed matrix
 // are concatenated and passed through a two-layer MLP into ocode.
 func (m *Model) encodeExternal(tp *nn.Tape, ext *traj.ExternalFeatures) *nn.Node {
-	wea := tensor.New(16)
+	wea := tp.Alloc(16)
 	var dtraf *nn.Node
 	if ext == nil {
 		// External features unavailable for this record: zero one-hot,
 		// zero traffic code. Keeps the model usable on partial data.
-		dtraf = tp.Const(tensor.New(m.cfg.Dtraf))
+		dtraf = tp.Const(tp.Alloc(m.cfg.Dtraf))
 	} else {
 		if ext.Weather < 0 || ext.Weather >= 16 {
 			panic(fmt.Sprintf("core: weather type %d out of range", ext.Weather))
 		}
 		wea.Data[ext.Weather] = 1
-		grid := tensor.New(1, ext.GridRows, ext.GridCols)
+		grid := tp.Alloc(1, ext.GridRows, ext.GridCols)
 		for i, v := range ext.SpeedGrid {
 			grid.Data[i] = v / maxSpeedNorm
 		}
@@ -127,7 +126,7 @@ func (m *Model) encodeOD(tp *nn.Tape, od *traj.MatchedOD) *nn.Node {
 	if m.cfg.NoSpatial {
 		x1, y1 := m.edgeFracNorm(od.OriginEdge, od.RStart)
 		x2, y2 := m.edgeFracNorm(od.DestEdge, 1-od.REnd)
-		parts = append(parts, tp.Const(tensor.Vector(x1, y1, x2, y2)))
+		parts = append(parts, tp.ConstVec(x1, y1, x2, y2))
 	} else {
 		parts = append(parts,
 			m.roadEmb.Lookup(tp, int(od.OriginEdge)),
@@ -136,16 +135,16 @@ func (m *Model) encodeOD(tp *nn.Tape, od *traj.MatchedOD) *nn.Node {
 	if m.cfg.TimeInit == TimeStamp {
 		// Raw seconds, deliberately unscaled: T-stamp reproduces the
 		// paper's finding that huge magnitudes swamp the other features.
-		parts = append(parts, tp.Const(tensor.Scalar(od.DepartSec)))
+		parts = append(parts, tp.ConstVec(od.DepartSec))
 	} else {
 		idx := m.weekSlotIndex(od.DepartSec)
 		parts = append(parts, m.slotEmb.Lookup(tp, idx))
-		parts = append(parts, tp.Const(tensor.Scalar(m.slotter.NormalizedRemainder(od.DepartSec))))
+		parts = append(parts, tp.ConstVec(m.slotter.NormalizedRemainder(od.DepartSec)))
 	}
 	if !m.cfg.NoExternal {
 		parts = append(parts, m.encodeExternal(tp, od.External))
 	}
-	parts = append(parts, tp.Const(tensor.Vector(od.RStart, od.REnd)))
+	parts = append(parts, tp.ConstVec(od.RStart, od.REnd))
 	z9 := tp.Concat(parts...)
 	if z9.Value.Size() != m.odDim {
 		panic(fmt.Sprintf("core: Z9 size %d != expected %d", z9.Value.Size(), m.odDim))

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"deepod/internal/dataset"
+)
+
+// paramsBitIdentical compares every parameter of two models bit for bit.
+func paramsBitIdentical(t *testing.T, a, b *Model) {
+	t.Helper()
+	as, bs := a.Params().Save(), b.Params().Save()
+	if len(as) != len(bs) {
+		t.Fatalf("parameter count differs: %d vs %d", len(as), len(bs))
+	}
+	for name, av := range as {
+		bv, ok := bs[name]
+		if !ok {
+			t.Fatalf("parameter %q missing from second model", name)
+		}
+		for i := range av {
+			if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+				t.Fatalf("parameter %q[%d] differs: %v vs %v", name, i, av[i], bv[i])
+			}
+		}
+	}
+}
+
+// TestParallelWorkersOneMatchesSerial pins the core acceptance criterion:
+// one data-parallel worker reproduces the serial path (TrainWorkers=0) bit
+// for bit — identical parameters, time scale and validation trace.
+func TestParallelWorkersOneMatchesSerial(t *testing.T) {
+	g, recs := testWorld(t, 70)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (*Model, *TrainStats) {
+		cfg := tinyConfig()
+		cfg.Epochs = 1
+		cfg.TrainWorkers = workers
+		m, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 4, EvalEvery: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, stats
+	}
+	mSerial, sSerial := run(0)
+	mOne, sOne := run(1)
+	paramsBitIdentical(t, mSerial, mOne)
+	if mSerial.TimeScale() != mOne.TimeScale() {
+		t.Fatalf("time scale differs: %v vs %v", mSerial.TimeScale(), mOne.TimeScale())
+	}
+	if sSerial.FinalValMAE != sOne.FinalValMAE {
+		t.Fatalf("FinalValMAE differs: %v vs %v", sSerial.FinalValMAE, sOne.FinalValMAE)
+	}
+	for i := range sSerial.Curve {
+		if sSerial.Curve[i].ValMAE != sOne.Curve[i].ValMAE {
+			t.Fatalf("curve point %d differs: %v vs %v", i, sSerial.Curve[i].ValMAE, sOne.Curve[i].ValMAE)
+		}
+	}
+}
+
+// TestParallelTrainingDeterministic checks that a given seed + worker count
+// is bit-reproducible: two runs with 2 workers produce identical parameters
+// and identical validation MAE.
+func TestParallelTrainingDeterministic(t *testing.T) {
+	g, recs := testWorld(t, 70)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*Model, *TrainStats) {
+		cfg := tinyConfig()
+		cfg.Epochs = 1
+		cfg.TrainWorkers = 2
+		m, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 4, EvalEvery: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, stats
+	}
+	mA, sA := run()
+	mB, sB := run()
+	paramsBitIdentical(t, mA, mB)
+	if sA.FinalValMAE != sB.FinalValMAE {
+		t.Fatalf("same seed + workers produced different FinalValMAE: %v vs %v", sA.FinalValMAE, sB.FinalValMAE)
+	}
+	if sA.SamplesSeen != sB.SamplesSeen || sA.SamplesSeen == 0 {
+		t.Fatalf("SamplesSeen mismatch or zero: %d vs %d", sA.SamplesSeen, sB.SamplesSeen)
+	}
+}
+
+// TestParallelWorkerCountsAgree checks 1 vs 4 workers: gradients are summed
+// in a different order (and node2vec shards differently), so results are not
+// bit-identical, but on the same data the final validation MAE must land in
+// the same neighborhood.
+func TestParallelWorkerCountsAgree(t *testing.T) {
+	g, recs := testWorld(t, 70)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *TrainStats {
+		cfg := tinyConfig()
+		cfg.Epochs = 1
+		cfg.TrainWorkers = workers
+		m, err := New(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	s1 := run(1)
+	s4 := run(4)
+	if s1.Workers != 1 || s4.Workers != 4 {
+		t.Fatalf("stats workers = %d, %d; want 1, 4", s1.Workers, s4.Workers)
+	}
+	a, b := s1.FinalValMAE, s4.FinalValMAE
+	if math.IsNaN(a) || math.IsNaN(b) || a <= 0 || b <= 0 {
+		t.Fatalf("invalid MAEs: %v, %v", a, b)
+	}
+	rel := math.Abs(a-b) / math.Max(a, b)
+	if rel > 0.5 {
+		t.Fatalf("1-worker and 4-worker MAE diverge: %v vs %v (rel %v)", a, b, rel)
+	}
+}
+
+// TestParallelStepPointTimes checks the measured-convergence satellite:
+// every StepPoint carries a positive monotone wall-clock time and
+// ConvergedAt is the recorded time of the converged step, not a
+// back-computed fraction of Elapsed.
+func TestParallelStepPointTimes(t *testing.T) {
+	g, recs := testWorld(t, 70)
+	split, err := dataset.ChronoSplit(recs, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Epochs = 1
+	m, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Train(split.Train, split.Valid, TrainOptions{MaxSteps: 4, EvalEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Curve) == 0 {
+		t.Fatal("no curve points")
+	}
+	prev := time.Duration(0)
+	for i, p := range stats.Curve {
+		if p.At <= 0 {
+			t.Fatalf("curve[%d].At = %v, want > 0", i, p.At)
+		}
+		if p.At < prev {
+			t.Fatalf("curve[%d].At = %v went backwards from %v", i, p.At, prev)
+		}
+		prev = p.At
+	}
+	found := false
+	for _, p := range stats.Curve {
+		if p.Step == stats.ConvergedStep {
+			if stats.ConvergedAt != p.At {
+				t.Fatalf("ConvergedAt = %v, want measured %v", stats.ConvergedAt, p.At)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("ConvergedStep %d not on the curve", stats.ConvergedStep)
+	}
+	if stats.ConvergedAt > stats.Elapsed {
+		t.Fatalf("ConvergedAt %v exceeds Elapsed %v", stats.ConvergedAt, stats.Elapsed)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"deepod/internal/dataset"
@@ -22,6 +23,9 @@ import (
 type StepPoint struct {
 	Step   int
 	ValMAE float64 // seconds
+	// At is the measured wall-clock time from the start of Train to this
+	// measurement (embedding pre-training included).
+	At time.Duration
 }
 
 // TrainStats reports what happened during Train.
@@ -29,17 +33,22 @@ type TrainStats struct {
 	// Curve is the validation-MAE trace sampled every EvalEvery steps.
 	Curve []StepPoint
 	// ConvergedStep is the first step whose validation MAE came within 2%
-	// of the best MAE seen; ConvergedAt is the wall-clock time it took.
+	// of the best MAE seen; ConvergedAt is the measured wall-clock time of
+	// that step's StepPoint.
 	ConvergedStep int
 	ConvergedAt   time.Duration
-	// Steps and Elapsed cover the whole run.
-	Steps   int
-	Elapsed time.Duration
+	// Steps and Elapsed cover the whole run; SamplesSeen counts per-sample
+	// forward/backward passes across all optimizer steps.
+	Steps       int
+	SamplesSeen int
+	Elapsed     time.Duration
 	// EmbedElapsed is the node2vec pre-training time (part of offline
 	// training in Table 5).
 	EmbedElapsed time.Duration
 	// FinalValMAE is the last validation MAE in seconds.
 	FinalValMAE float64
+	// Workers is the number of data-parallel training workers used.
+	Workers int
 }
 
 // TrainOptions tunes the training loop around the model.
@@ -60,6 +69,11 @@ type TrainOptions struct {
 // Train runs Algorithm 1's offline training: embedding pre-training
 // (lines 1–5) followed by epochs of mini-batch optimization of
 // loss = w·auxiliaryloss + (1−w)·mainloss (lines 6–7).
+//
+// With Config.TrainWorkers > 1 each mini-batch is sharded across a
+// persistent worker pool; per-worker gradient buffers are reduced in fixed
+// worker-index order, so results are bit-reproducible for a given seed and
+// worker count, and one worker reproduces the serial results exactly.
 func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*TrainStats, error) {
 	if len(train) == 0 {
 		return nil, fmt.Errorf("core: no training records")
@@ -67,7 +81,11 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 	if len(valid) == 0 {
 		return nil, fmt.Errorf("core: no validation records")
 	}
-	stats := &TrainStats{}
+	workers := m.cfg.TrainWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	stats := &TrainStats{Workers: workers}
 	start := time.Now()
 
 	// Target normalization: mean training travel time.
@@ -100,13 +118,24 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 		}
 		actual := make([]float64, n)
 		pred := make([]float64, n)
-		for i := 0; i < n; i++ {
+		shardLoop(n, workers, func(i int) {
 			actual[i] = valid[i].TravelSec
 			pred[i] = m.Estimate(&valid[i].Matched)
-		}
+		})
 		evalPhaseHist.Observe(time.Since(evalStart).Seconds())
 		return metrics.MAE(actual, pred)
 	}
+	record := func(epoch, step int) {
+		mae := evaluate()
+		stats.Curve = append(stats.Curve, StepPoint{Step: step, ValMAE: mae, At: time.Since(start)})
+		if opts.Progress != nil {
+			opts.Progress(epoch, step, mae)
+		}
+	}
+
+	pool := newTrainPool(m.ps, workers)
+	defer pool.close()
+	var timingMu sync.Mutex
 
 	step := 0
 	done := false
@@ -119,46 +148,31 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 			}
 			m.ps.ZeroGrad()
 			var fwd, bwd time.Duration
-			for _, bi := range batch {
-				rec := &train[bi]
-				phaseStart := time.Now()
-				tp := nn.NewTape()
-				code := m.encodeOD(tp, &rec.Matched)
-				yhat := m.estMLP.Forward(tp, code) // Formula 20
-				target := tp.Const(tensor.Scalar(rec.TravelSec / m.timeScale))
-				main := tp.AbsError(yhat, target)
-				var loss *nn.Node
-				if useAux {
-					stcode := m.encodeTrajectory(tp, &rec.Trajectory)
-					// Anchor M_T: the estimator must decode the travel time
-					// from stcode too. The spatio-temporal path contains its
-					// own timing, so this trains the trajectory encoder to
-					// organize its representation by travel time; binding
-					// code to stcode then distills that structure into the
-					// OD encoder (see DESIGN.md §4 on this deviation).
-					privileged := tp.AbsError(m.estMLP.Forward(tp, stcode), target)
-					bindTarget := stcode
-					if m.cfg.AuxOneWay {
-						// Detach: the OD code chases the trajectory code,
-						// never the reverse.
-						bindTarget = tp.Const(stcode.Value)
-					}
-					aux := tp.Add(tp.L2Distance(code, bindTarget), privileged)
-					// Algorithm 1, line 12: loss = w·auxiliaryloss + (1−w)·mainloss.
-					loss = tp.Add(tp.Scale(aux, w), tp.Scale(main, 1-w))
-				} else {
-					loss = main
+			pool.run(func(wk int, tp *nn.Tape) {
+				var wf, wb time.Duration
+				for i := wk; i < len(batch); i += pool.n {
+					rec := &train[batch[i]]
+					phaseStart := time.Now()
+					tp.Reset()
+					loss := m.sampleLoss(tp, rec, useAux, w)
+					backStart := time.Now()
+					tp.Backward(loss)
+					wf += backStart.Sub(phaseStart)
+					wb += time.Since(backStart)
 				}
-				backStart := time.Now()
-				fwd += backStart.Sub(phaseStart)
-				tp.Backward(loss)
-				bwd += time.Since(backStart)
-			}
+				timingMu.Lock()
+				fwd += wf
+				bwd += wb
+				timingMu.Unlock()
+			})
+			pool.reduce()
 			// One observation per optimizer step: the batch's total forward
-			// (tape build + loss) and backward (gradient) time.
+			// (tape build + loss) and backward (gradient) time, summed over
+			// workers.
 			forwardPhaseHist.Observe(fwd.Seconds())
 			backwardPhaseHist.Observe(bwd.Seconds())
 			trainSamplesTotal.Add(uint64(len(batch)))
+			stats.SamplesSeen += len(batch)
 			m.ps.ScaleGrads(1 / float64(len(batch)))
 			if m.cfg.ClipNorm > 0 {
 				nn.ClipGradNorm(m.ps, m.cfg.ClipNorm)
@@ -166,11 +180,7 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 			opt.Step(m.ps)
 			step++
 			if opts.EvalEvery > 0 && step%opts.EvalEvery == 0 {
-				mae := evaluate()
-				stats.Curve = append(stats.Curve, StepPoint{Step: step, ValMAE: mae})
-				if opts.Progress != nil {
-					opts.Progress(epoch, step, mae)
-				}
+				record(epoch, step)
 			}
 			if opts.MaxSteps > 0 && step >= opts.MaxSteps {
 				done = true
@@ -180,11 +190,7 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 		if err != nil {
 			return nil, err
 		}
-		mae := evaluate()
-		stats.Curve = append(stats.Curve, StepPoint{Step: step, ValMAE: mae})
-		if opts.Progress != nil {
-			opts.Progress(epoch, step, mae)
-		}
+		record(epoch, step)
 	}
 
 	stats.Steps = step
@@ -200,15 +206,42 @@ func (m *Model) Train(train, valid []traj.TripRecord, opts TrainOptions) (*Train
 		for _, p := range stats.Curve {
 			if p.ValMAE <= best*1.02 {
 				stats.ConvergedStep = p.Step
+				stats.ConvergedAt = p.At
 				break
 			}
 		}
-		if stats.Steps > 0 {
-			frac := float64(stats.ConvergedStep) / float64(stats.Steps)
-			stats.ConvergedAt = time.Duration(frac * float64(stats.Elapsed))
-		}
 	}
 	return stats, nil
+}
+
+// sampleLoss builds one sample's loss graph on tp: the main |ŷ−y| term
+// plus, when useAux is set, the auxiliary trajectory-binding terms of
+// Algorithm 1 lines 10–12 weighted by w.
+func (m *Model) sampleLoss(tp *nn.Tape, rec *traj.TripRecord, useAux bool, w float64) *nn.Node {
+	code := m.encodeOD(tp, &rec.Matched)
+	yhat := m.estMLP.Forward(tp, code) // Formula 20
+	target := tp.ConstVec(rec.TravelSec / m.timeScale)
+	main := tp.AbsError(yhat, target)
+	if !useAux {
+		return main
+	}
+	stcode := m.encodeTrajectory(tp, &rec.Trajectory)
+	// Anchor M_T: the estimator must decode the travel time
+	// from stcode too. The spatio-temporal path contains its
+	// own timing, so this trains the trajectory encoder to
+	// organize its representation by travel time; binding
+	// code to stcode then distills that structure into the
+	// OD encoder (see DESIGN.md §4 on this deviation).
+	privileged := tp.AbsError(m.estMLP.Forward(tp, stcode), target)
+	bindTarget := stcode
+	if m.cfg.AuxOneWay {
+		// Detach: the OD code chases the trajectory code,
+		// never the reverse.
+		bindTarget = tp.Const(stcode.Value)
+	}
+	aux := tp.Add(tp.L2Distance(code, bindTarget), privileged)
+	// Algorithm 1, line 12: loss = w·auxiliaryloss + (1−w)·mainloss.
+	return tp.Add(tp.Scale(aux, w), tp.Scale(main, 1-w))
 }
 
 // pretrainEmbeddings performs Algorithm 1 lines 1–4: node2vec over the
@@ -275,16 +308,23 @@ func (m *Model) runEmbed(g embed.Graph, dim int, rng *rand.Rand) (*tensor.Tensor
 		wcfg.WalksPerNode *= 4
 		scfg.Window = 1
 	}
-	walks, err := embed.GenerateWalks(g, wcfg, rng)
+	walks, err := embed.GenerateWalksParallel(g, wcfg, rng, m.cfg.TrainWorkers)
 	if err != nil {
 		return nil, err
 	}
-	return embed.TrainSkipGram(g.NumNodes(), walks, scfg, rng)
+	return embed.TrainSkipGramParallel(g.NumNodes(), walks, scfg, rng, m.cfg.TrainWorkers)
 }
+
+// evalTapes recycles eval tapes (and their arenas) across EstimateCtx calls,
+// so a single estimate does a handful of allocations instead of one per
+// intermediate tensor. Tapes are model-independent; sharing the pool across
+// models is safe because a tape carries no parameter state.
+var evalTapes = sync.Pool{New: func() any { return nn.NewEvalTape() }}
 
 // Estimate runs the online estimation of Algorithm 1: encode the OD input
 // with M_O and decode the travel time with M_E. The result is in seconds.
 // The two stages record into tte_span_seconds{span="encode"|"estimate"}.
+// Safe for concurrent use.
 func (m *Model) Estimate(od *traj.MatchedOD) float64 {
 	return m.EstimateCtx(context.Background(), od)
 }
@@ -294,14 +334,16 @@ func (m *Model) Estimate(od *traj.MatchedOD) float64 {
 // estimate stages appear as sibling child spans in the request's tree.
 // The aggregate histograms are recorded either way.
 func (m *Model) EstimateCtx(ctx context.Context, od *traj.MatchedOD) float64 {
+	tp := evalTapes.Get().(*nn.Tape)
+	tp.Reset()
 	_, encSpan := obs.StartSpan(ctx, "encode")
-	tp := nn.NewEvalTape()
 	code := m.encodeOD(tp, od)
 	encSpan.End()
 	_, estSpan := obs.StartSpan(ctx, "estimate")
 	y := m.estMLP.Forward(tp, code)
 	estSpan.End()
 	sec := y.Value.Data[0] * m.timeScale
+	evalTapes.Put(tp)
 	if sec < 0 {
 		sec = 0
 	}

@@ -1,0 +1,108 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParallelWalksMatchSerialAtOneWorker(t *testing.T) {
+	g := newRing(12)
+	cfg := DefaultWalkConfig()
+	serial, err := GenerateWalks(g, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := GenerateWalksParallel(g, cfg, rand.New(rand.NewSource(5)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(one) {
+		t.Fatalf("corpus size differs: %d vs %d", len(serial), len(one))
+	}
+	for i := range serial {
+		if len(serial[i]) != len(one[i]) {
+			t.Fatalf("walk %d length differs", i)
+		}
+		for j := range serial[i] {
+			if serial[i][j] != one[i][j] {
+				t.Fatalf("walk %d node %d differs: %d vs %d", i, j, serial[i][j], one[i][j])
+			}
+		}
+	}
+}
+
+func TestParallelWalksDeterministic(t *testing.T) {
+	g := newRing(12)
+	cfg := DefaultWalkConfig()
+	a, err := GenerateWalksParallel(g, cfg, rand.New(rand.NewSource(9)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWalksParallel(g, cfg, rand.New(rand.NewSource(9)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("corpus sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("walk %d node %d differs across identical runs", i, j)
+			}
+		}
+	}
+}
+
+func TestParallelSkipGramMatchesSerialAtOneWorker(t *testing.T) {
+	g := newRing(10)
+	walks, err := GenerateWalks(g, DefaultWalkConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSkipGramConfig(8)
+	serial, err := TrainSkipGram(g.NumNodes(), walks, cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := TrainSkipGramParallel(g.NumNodes(), walks, cfg, rand.New(rand.NewSource(3)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Data {
+		if math.Float64bits(serial.Data[i]) != math.Float64bits(one.Data[i]) {
+			t.Fatalf("vector element %d differs: %v vs %v", i, serial.Data[i], one.Data[i])
+		}
+	}
+}
+
+func TestParallelSkipGramDeterministicAndSane(t *testing.T) {
+	g := newRing(10)
+	walks, err := GenerateWalks(g, DefaultWalkConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSkipGramConfig(8)
+	a, err := TrainSkipGramParallel(g.NumNodes(), walks, cfg, rand.New(rand.NewSource(4)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainSkipGramParallel(g.NumNodes(), walks, cfg, rand.New(rand.NewSource(4)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			t.Fatalf("element %d differs across identical parallel runs", i)
+		}
+		if math.IsNaN(a.Data[i]) || math.IsInf(a.Data[i], 0) {
+			t.Fatalf("element %d is %v", i, a.Data[i])
+		}
+		norm += a.Data[i] * a.Data[i]
+	}
+	if norm == 0 {
+		t.Fatal("parallel skip-gram produced the zero matrix")
+	}
+}

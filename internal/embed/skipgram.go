@@ -23,17 +23,18 @@ func DefaultSkipGramConfig(dim int) SkipGramConfig {
 	return SkipGramConfig{Dim: dim, Window: 4, Negatives: 4, Epochs: 3, LR: 0.025}
 }
 
-// TrainSkipGram learns node embeddings from a walk corpus using skip-gram
-// with negative sampling (the objective behind node2vec and DeepWalk).
-// It returns a [numNodes, Dim] matrix of input-side vectors.
-func TrainSkipGram(numNodes int, walks [][]int, cfg SkipGramConfig, rng *rand.Rand) (*tensor.Tensor, error) {
+func checkSkipGramConfig(numNodes int, cfg SkipGramConfig) error {
 	if numNodes <= 0 {
-		return nil, fmt.Errorf("embed: numNodes must be positive, got %d", numNodes)
+		return fmt.Errorf("embed: numNodes must be positive, got %d", numNodes)
 	}
 	if cfg.Dim <= 0 || cfg.Window <= 0 || cfg.Negatives < 0 || cfg.Epochs <= 0 {
-		return nil, fmt.Errorf("embed: invalid skip-gram config %+v", cfg)
+		return fmt.Errorf("embed: invalid skip-gram config %+v", cfg)
 	}
-	// Unigram^(3/4) negative-sampling table.
+	return nil
+}
+
+// negTable builds the cumulative unigram^(3/4) negative-sampling table.
+func negTable(numNodes int, walks [][]int) ([]float64, error) {
 	counts := make([]float64, numNodes)
 	for _, w := range walks {
 		for _, n := range w {
@@ -54,31 +55,55 @@ func TrainSkipGram(numNodes int, walks [][]int, cfg SkipGramConfig, rng *rand.Ra
 		run += c / total
 		cum[i] = run
 	}
-	sampleNeg := func() int {
-		r := rng.Float64()
-		lo, hi := 0, numNodes-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cum[mid] < r {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		return lo
-	}
+	return cum, nil
+}
 
+// sampleNegFrom draws a node from the cumulative table by binary search.
+func sampleNegFrom(cum []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TrainSkipGram learns node embeddings from a walk corpus using skip-gram
+// with negative sampling (the objective behind node2vec and DeepWalk).
+// It returns a [numNodes, Dim] matrix of input-side vectors.
+func TrainSkipGram(numNodes int, walks [][]int, cfg SkipGramConfig, rng *rand.Rand) (*tensor.Tensor, error) {
+	if err := checkSkipGramConfig(numNodes, cfg); err != nil {
+		return nil, err
+	}
+	cum, err := negTable(numNodes, walks)
+	if err != nil {
+		return nil, err
+	}
 	in := tensor.New(numNodes, cfg.Dim)
 	out := tensor.New(numNodes, cfg.Dim)
 	for i := range in.Data {
 		in.Data[i] = (rng.Float64() - 0.5) / float64(cfg.Dim)
 	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR * (1 - float64(epoch)/float64(cfg.Epochs)*0.9)
+		trainSkipGramEpoch(in, out, walks, cfg, cum, lr, rng, nil)
+	}
+	return in, nil
+}
 
-	sigmoid := sigmoidTable()
+// trainSkipGramEpoch runs one skip-gram epoch over walks, updating in/out
+// in place. When shard is non-nil, only walks whose index satisfies shard
+// are consumed (the data-parallel walk partition).
+func trainSkipGramEpoch(in, out *tensor.Tensor, walks [][]int, cfg SkipGramConfig, cum []float64, lr float64, rng *rand.Rand, shard func(walkIdx int) bool) {
 	dim := cfg.Dim
 	gradIn := make([]float64, dim)
 
-	trainPair := func(center, context int, lr float64) {
+	trainPair := func(center, context int) {
 		vi := in.Data[center*dim : (center+1)*dim]
 		for i := range gradIn {
 			gradIn[i] = 0
@@ -87,7 +112,7 @@ func TrainSkipGram(numNodes int, walks [][]int, cfg SkipGramConfig, rng *rand.Ra
 		for s := 0; s <= cfg.Negatives; s++ {
 			target, label := context, 1.0
 			if s > 0 {
-				target = sampleNeg()
+				target = sampleNegFrom(cum, rng)
 				if target == context {
 					continue
 				}
@@ -98,7 +123,7 @@ func TrainSkipGram(numNodes int, walks [][]int, cfg SkipGramConfig, rng *rand.Ra
 			for i := 0; i < dim; i++ {
 				dot += vi[i] * vo[i]
 			}
-			g := (sigmoid(dot) - label) * lr
+			g := (sigmoidApprox(dot) - label) * lr
 			for i := 0; i < dim; i++ {
 				gradIn[i] += g * vo[i]
 				vo[i] -= g * vi[i]
@@ -109,29 +134,31 @@ func TrainSkipGram(numNodes int, walks [][]int, cfg SkipGramConfig, rng *rand.Ra
 		}
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		lr := cfg.LR * (1 - float64(epoch)/float64(cfg.Epochs)*0.9)
-		for _, walk := range walks {
-			for ci, center := range walk {
-				lo := ci - cfg.Window
-				if lo < 0 {
-					lo = 0
+	for wi, walk := range walks {
+		if shard != nil && !shard(wi) {
+			continue
+		}
+		for ci, center := range walk {
+			lo := ci - cfg.Window
+			if lo < 0 {
+				lo = 0
+			}
+			hi := ci + cfg.Window
+			if hi >= len(walk) {
+				hi = len(walk) - 1
+			}
+			for x := lo; x <= hi; x++ {
+				if x == ci {
+					continue
 				}
-				hi := ci + cfg.Window
-				if hi >= len(walk) {
-					hi = len(walk) - 1
-				}
-				for x := lo; x <= hi; x++ {
-					if x == ci {
-						continue
-					}
-					trainPair(center, walk[x], lr)
-				}
+				trainPair(center, walk[x])
 			}
 		}
 	}
-	return in, nil
 }
+
+// sigmoidApprox is the shared σ(x) table; built once at package init.
+var sigmoidApprox = sigmoidTable()
 
 // sigmoidTable returns a σ(x) approximation backed by a precomputed table
 // over [-6, 6] (the standard word2vec trick — exp dominates skip-gram

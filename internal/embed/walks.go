@@ -46,13 +46,20 @@ func DefaultWalkConfig() WalkConfig {
 	return WalkConfig{WalksPerNode: 8, WalkLength: 20, P: 1, Q: 0.5}
 }
 
-// GenerateWalks produces a corpus of random walks over g.
-func GenerateWalks(g Graph, cfg WalkConfig, rng *rand.Rand) ([][]int, error) {
+func checkWalkConfig(cfg WalkConfig) error {
 	if cfg.WalksPerNode <= 0 || cfg.WalkLength < 2 {
-		return nil, fmt.Errorf("embed: walk config needs WalksPerNode>0 and WalkLength>=2, got %+v", cfg)
+		return fmt.Errorf("embed: walk config needs WalksPerNode>0 and WalkLength>=2, got %+v", cfg)
 	}
 	if cfg.P <= 0 || cfg.Q <= 0 {
-		return nil, fmt.Errorf("embed: node2vec p and q must be positive, got p=%v q=%v", cfg.P, cfg.Q)
+		return fmt.Errorf("embed: node2vec p and q must be positive, got p=%v q=%v", cfg.P, cfg.Q)
+	}
+	return nil
+}
+
+// GenerateWalks produces a corpus of random walks over g.
+func GenerateWalks(g Graph, cfg WalkConfig, rng *rand.Rand) ([][]int, error) {
+	if err := checkWalkConfig(cfg); err != nil {
+		return nil, err
 	}
 	walks := make([][]int, 0, g.NumNodes()*cfg.WalksPerNode)
 	for w := 0; w < cfg.WalksPerNode; w++ {

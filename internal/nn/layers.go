@@ -29,7 +29,7 @@ func (l *Linear) Forward(tp *Tape, x *Node) *Node {
 	if x.Value.Size() != l.In {
 		panic(fmt.Sprintf("nn: Linear %q expects input size %d, got %d", l.W.Name, l.In, x.Value.Size()))
 	}
-	return tp.Add(tp.MatVec(tp.Leaf(l.W), x), tp.Leaf(l.B))
+	return tp.Affine(tp.Leaf(l.W), tp.Leaf(l.B), x)
 }
 
 // MLP2 is the paper's two-layer Multilayer Perceptron
@@ -117,17 +117,17 @@ func (l *LSTM) Forward(tp *Tape, xs []*Node) *Node {
 	if len(xs) == 0 {
 		panic("nn: LSTM got an empty sequence")
 	}
-	h := tp.Const(tensor.New(l.Hidden))
-	c := tp.Const(tensor.New(l.Hidden))
+	h := tp.Const(tp.Alloc(l.Hidden))
+	c := tp.Const(tp.Alloc(l.Hidden))
 	for _, x := range xs {
 		if x.Value.Size() != l.In {
 			panic(fmt.Sprintf("nn: LSTM %q expects inputs of size %d, got %d", l.Wf.Name, l.In, x.Value.Size()))
 		}
 		xh := tp.Concat(x, h)
-		f := tp.Sigmoid(tp.Add(tp.MatVec(tp.Leaf(l.Wf), xh), tp.Leaf(l.Bf))) // Formula 12
-		i := tp.Sigmoid(tp.Add(tp.MatVec(tp.Leaf(l.Wi), xh), tp.Leaf(l.Bi))) // Formula 13
-		o := tp.Sigmoid(tp.Add(tp.MatVec(tp.Leaf(l.Wo), xh), tp.Leaf(l.Bo))) // Formula 14
-		g := tp.Tanh(tp.Add(tp.MatVec(tp.Leaf(l.Wc), xh), tp.Leaf(l.Bc)))
+		f := tp.Sigmoid(tp.Affine(tp.Leaf(l.Wf), tp.Leaf(l.Bf), xh)) // Formula 12
+		i := tp.Sigmoid(tp.Affine(tp.Leaf(l.Wi), tp.Leaf(l.Bi), xh)) // Formula 13
+		o := tp.Sigmoid(tp.Affine(tp.Leaf(l.Wo), tp.Leaf(l.Bo), xh)) // Formula 14
+		g := tp.Tanh(tp.Affine(tp.Leaf(l.Wc), tp.Leaf(l.Bc), xh))
 		c = tp.Add(tp.Mul(f, c), tp.Mul(i, g)) // Formula 15
 		h = tp.Mul(o, tp.Tanh(c))              // Formula 16
 	}

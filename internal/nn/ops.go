@@ -7,10 +7,19 @@ import (
 	"deepod/internal/tensor"
 )
 
+// The ops below allocate their outputs and gradients from the tape's arena
+// and accumulate backward contributions in place. Where an output element
+// receives several backward contributions (convolutions, channel norm),
+// the per-call contribution is still summed locally before the single
+// accumulation into the dependency's gradient, preserving the historical
+// floating-point ordering — the bit-reproducibility contract of
+// internal/core's training loop depends on it.
+
 // MatVec returns W·x for a matrix node W of shape [m, n] and a vector node x
 // of size n. The result is a vector node of size m.
 func (tp *Tape) MatVec(w, x *Node) *Node {
-	out := tensor.MatVec(w.Value, x.Value)
+	out := tp.arena.New(w.Value.Shape[0])
+	tensor.MatVecInto(out, w.Value, x.Value)
 	return tp.node(out, func(n *Node) {
 		if w.requiresGrad && w.Grad != nil {
 			tensor.AddOuterInPlace(w.Grad, n.Grad, x.Value)
@@ -21,9 +30,34 @@ func (tp *Tape) MatVec(w, x *Node) *Node {
 	}, w, x)
 }
 
+// Affine returns W·x + b in one fused node — the hot path of every linear
+// layer and LSTM gate. One kernel pass, one output tensor, and a backward
+// that writes straight into the three gradients; numerically identical to
+// the MatVec-then-Add composition it replaces.
+func (tp *Tape) Affine(w, b, x *Node) *Node {
+	out := tp.arena.New(w.Value.Shape[0])
+	tensor.MatVecAddInto(out, w.Value, x.Value, b.Value)
+	return tp.node(out, func(n *Node) {
+		accumulate(b, n.Grad)
+		if w.requiresGrad && w.Grad != nil {
+			tensor.AddOuterInPlace(w.Grad, n.Grad, x.Value)
+		}
+		if x.requiresGrad && x.Grad != nil {
+			tensor.AddMatVecTInPlace(x.Grad, w.Value, n.Grad)
+		}
+	}, w, b, x)
+}
+
 // Add returns a + b element-wise (same shape).
 func (tp *Tape) Add(a, b *Node) *Node {
-	out := tensor.Add(a.Value, b.Value)
+	av, bv := a.Value, b.Value
+	if !av.SameShape(bv) {
+		panic(fmt.Sprintf("nn: Add shape mismatch %v vs %v", av.Shape, bv.Shape))
+	}
+	out := tp.arena.New(av.Shape...)
+	for i := range out.Data {
+		out.Data[i] = av.Data[i] + bv.Data[i]
+	}
 	return tp.node(out, func(n *Node) {
 		accumulate(a, n.Grad)
 		accumulate(b, n.Grad)
@@ -32,42 +66,60 @@ func (tp *Tape) Add(a, b *Node) *Node {
 
 // Sub returns a - b element-wise.
 func (tp *Tape) Sub(a, b *Node) *Node {
-	out := tensor.Sub(a.Value, b.Value)
+	av, bv := a.Value, b.Value
+	if !av.SameShape(bv) {
+		panic(fmt.Sprintf("nn: Sub shape mismatch %v vs %v", av.Shape, bv.Shape))
+	}
+	out := tp.arena.New(av.Shape...)
+	for i := range out.Data {
+		out.Data[i] = av.Data[i] - bv.Data[i]
+	}
 	return tp.node(out, func(n *Node) {
 		accumulate(a, n.Grad)
-		accumulate(b, tensor.Scale(n.Grad, -1))
+		accumulateScaled(b, n.Grad, -1)
 	}, a, b)
 }
 
 // Mul returns the element-wise product a ⊗ b (paper's gate products).
 func (tp *Tape) Mul(a, b *Node) *Node {
-	out := tensor.Mul(a.Value, b.Value)
+	av, bv := a.Value, b.Value
+	if !av.SameShape(bv) {
+		panic(fmt.Sprintf("nn: Mul shape mismatch %v vs %v", av.Shape, bv.Shape))
+	}
+	out := tp.arena.New(av.Shape...)
+	for i := range out.Data {
+		out.Data[i] = av.Data[i] * bv.Data[i]
+	}
 	return tp.node(out, func(n *Node) {
-		accumulate(a, tensor.Mul(n.Grad, b.Value))
-		accumulate(b, tensor.Mul(n.Grad, a.Value))
+		accumulateMul(a, n.Grad, b.Value)
+		accumulateMul(b, n.Grad, a.Value)
 	}, a, b)
 }
 
 // Scale returns s·a for a constant s.
 func (tp *Tape) Scale(a *Node, s float64) *Node {
-	out := tensor.Scale(a.Value, s)
+	out := tp.arena.New(a.Value.Shape...)
+	for i, v := range a.Value.Data {
+		out.Data[i] = s * v
+	}
 	return tp.node(out, func(n *Node) {
-		accumulate(a, tensor.Scale(n.Grad, s))
+		accumulateScaled(a, n.Grad, s)
 	}, a)
 }
 
 // unary applies f element-wise; df receives (x, f(x)) and returns df/dx.
 func (tp *Tape) unary(a *Node, f func(float64) float64, df func(x, y float64) float64) *Node {
-	out := tensor.Map(a.Value, f)
+	out := tp.arena.New(a.Value.Shape...)
+	for i, v := range a.Value.Data {
+		out.Data[i] = f(v)
+	}
 	return tp.node(out, func(n *Node) {
-		if !a.requiresGrad {
+		if !a.requiresGrad || a.Grad == nil {
 			return
 		}
-		g := tensor.New(a.Value.Shape...)
-		for i := range g.Data {
-			g.Data[i] = n.Grad.Data[i] * df(a.Value.Data[i], out.Data[i])
+		for i := range n.Grad.Data {
+			a.Grad.Data[i] += n.Grad.Data[i] * df(a.Value.Data[i], out.Data[i])
 		}
-		accumulate(a, g)
 	}, a)
 }
 
@@ -119,14 +171,16 @@ func (tp *Tape) Square(a *Node) *Node {
 
 // Sum reduces all elements to a scalar node.
 func (tp *Tape) Sum(a *Node) *Node {
-	out := tensor.Scalar(a.Value.Sum())
+	out := tp.arena.New(1)
+	out.Data[0] = a.Value.Sum()
 	return tp.node(out, func(n *Node) {
-		if !a.requiresGrad {
+		if !a.requiresGrad || a.Grad == nil {
 			return
 		}
-		g := tensor.New(a.Value.Shape...)
-		g.Fill(n.Grad.Data[0])
-		accumulate(a, g)
+		g := n.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
 	}, a)
 }
 
@@ -151,19 +205,25 @@ func (tp *Tape) Sqrt(a *Node) *Node {
 // Concat concatenates vector nodes into one vector node. It implements the
 // paper's concat(·) used throughout Section 4.
 func (tp *Tape) Concat(parts ...*Node) *Node {
-	vals := make([]*tensor.Tensor, len(parts))
-	for i, p := range parts {
-		vals[i] = p.Value
+	n := 0
+	for _, p := range parts {
+		n += p.Value.Size()
 	}
-	out := tensor.Concat(vals...)
+	out := tp.arena.New(n)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off:], p.Value.Data)
+		off += p.Value.Size()
+	}
 	return tp.node(out, func(n *Node) {
 		off := 0
 		for _, p := range parts {
 			sz := p.Value.Size()
-			if p.requiresGrad {
-				g := tensor.New(sz)
-				copy(g.Data, n.Grad.Data[off:off+sz])
-				accumulate(p, g)
+			if p.requiresGrad && p.Grad != nil {
+				seg := n.Grad.Data[off : off+sz]
+				for i, g := range seg {
+					p.Grad.Data[i] += g
+				}
 			}
 			off += sz
 		}
@@ -177,7 +237,7 @@ func (tp *Tape) StackRows(rows ...*Node) *Node {
 		panic("nn: StackRows needs at least one row")
 	}
 	d := rows[0].Value.Size()
-	out := tensor.New(len(rows), d)
+	out := tp.arena.New(len(rows), d)
 	for i, r := range rows {
 		if r.Value.Size() != d {
 			panic(fmt.Sprintf("nn: StackRows ragged input: row 0 has %d, row %d has %d", d, i, r.Value.Size()))
@@ -186,12 +246,13 @@ func (tp *Tape) StackRows(rows ...*Node) *Node {
 	}
 	return tp.node(out, func(n *Node) {
 		for i, r := range rows {
-			if !r.requiresGrad {
+			if !r.requiresGrad || r.Grad == nil {
 				continue
 			}
-			g := tensor.New(d)
-			copy(g.Data, n.Grad.Data[i*d:(i+1)*d])
-			accumulate(r, g)
+			seg := n.Grad.Data[i*d : (i+1)*d]
+			for j, g := range seg {
+				r.Grad.Data[j] += g
+			}
 		}
 	}, rows...)
 }
@@ -200,30 +261,44 @@ func (tp *Tape) StackRows(rows ...*Node) *Node {
 func (tp *Tape) Reshape(a *Node, shape ...int) *Node {
 	out := a.Value.Reshape(shape...)
 	return tp.node(out, func(n *Node) {
-		if !a.requiresGrad {
+		if !a.requiresGrad || a.Grad == nil {
 			return
 		}
-		accumulate(a, n.Grad.Reshape(a.Value.Shape...))
+		// Same element layout, different shape header: accumulate flat.
+		for i, g := range n.Grad.Data {
+			a.Grad.Data[i] += g
+		}
 	}, a)
 }
 
 // MeanCols averages an [r, c] matrix node over rows into a length-c vector
 // node. This is the average pooling of Formula 10.
 func (tp *Tape) MeanCols(a *Node) *Node {
-	out := tensor.MeanCols(a.Value)
+	av := a.Value
+	if av.Dims() != 2 {
+		panic(fmt.Sprintf("nn: MeanCols wants a matrix, got %v", av.Shape))
+	}
+	r, c := av.Shape[0], av.Shape[1]
+	out := tp.arena.New(c)
+	for i := 0; i < r; i++ {
+		row := av.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	inv := 1.0 / float64(r)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
 	return tp.node(out, func(n *Node) {
-		if !a.requiresGrad {
+		if !a.requiresGrad || a.Grad == nil {
 			return
 		}
-		r, c := a.Value.Shape[0], a.Value.Shape[1]
-		g := tensor.New(r, c)
-		inv := 1.0 / float64(r)
 		for i := 0; i < r; i++ {
 			for j := 0; j < c; j++ {
-				g.Data[i*c+j] = n.Grad.Data[j] * inv
+				a.Grad.Data[i*c+j] += n.Grad.Data[j] * inv
 			}
 		}
-		accumulate(a, g)
 	}, a)
 }
 
@@ -232,23 +307,31 @@ func (tp *Tape) MeanCols(a *Node) *Node {
 // Formulas 1 and the time-slot embedding of Section 4.2: multiplying the
 // transposed embedding matrix by a one-hot vector selects a row.
 func (tp *Tape) Row(w *Node, i int) *Node {
-	out := w.Value.Row(i)
+	if w.Value.Dims() != 2 {
+		panic(fmt.Sprintf("nn: Row wants a matrix, got %v", w.Value.Shape))
+	}
+	c := w.Value.Shape[1]
+	out := tp.arena.New(c)
+	copy(out.Data, w.Value.Data[i*c:(i+1)*c])
 	return tp.node(out, func(n *Node) {
-		if !w.requiresGrad {
+		if !w.requiresGrad || w.Grad == nil {
 			return
 		}
-		c := w.Value.Shape[1]
-		g := tensor.New(w.Value.Shape...)
-		copy(g.Data[i*c:(i+1)*c], n.Grad.Data)
-		accumulate(w, g)
+		seg := w.Grad.Data[i*c : (i+1)*c]
+		for j, g := range n.Grad.Data {
+			seg[j] += g
+		}
 	}, w)
 }
 
 // Conv2D cross-correlates input x [C,H,W] with kernel k [OC,C,KH,KW].
 func (tp *Tape) Conv2D(x, k *Node, padH, padW, strideH, strideW int) *Node {
-	out := tensor.Conv2D(x.Value, k.Value, padH, padW, strideH, strideW)
+	out := tensor.Conv2DInto(&tp.arena, x.Value, k.Value, padH, padW, strideH, strideW)
 	return tp.node(out, func(n *Node) {
-		gx, gk := tensor.Conv2DBackward(x.Value, k.Value, n.Grad, padH, padW, strideH, strideW)
+		// The scatter pattern gives each input/kernel element several
+		// contributions; sum them in scratch first (historical FP order),
+		// then fold the scratch into the gradients once.
+		gx, gk := tensor.Conv2DBackwardInto(&tp.arena, x.Value, k.Value, n.Grad, padH, padW, strideH, strideW)
 		accumulate(x, gx)
 		accumulate(k, gk)
 	}, x, k)
@@ -266,10 +349,9 @@ func (tp *Tape) Conv2D(x, k *Node, padH, padW, strideH, strideW int) *Node {
 func (tp *Tape) ChannelNorm(x, gamma, beta *Node, eps float64) *Node {
 	c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2]
 	m := h * w
-	out := tensor.New(c, h, w)
-	mu := make([]float64, c)
-	invStd := make([]float64, c)
-	xhat := tensor.New(c, h, w)
+	out := tp.arena.New(c, h, w)
+	invStd := tp.arena.New(c)
+	xhat := tp.arena.New(c, h, w)
 	for ci := 0; ci < c; ci++ {
 		seg := x.Value.Data[ci*m : (ci+1)*m]
 		var s float64
@@ -284,7 +366,7 @@ func (tp *Tape) ChannelNorm(x, gamma, beta *Node, eps float64) *Node {
 		}
 		variance := vs / float64(m)
 		is := 1 / math.Sqrt(variance+eps)
-		mu[ci], invStd[ci] = mean, is
+		invStd.Data[ci] = is
 		for i, v := range seg {
 			xh := (v - mean) * is
 			xhat.Data[ci*m+i] = xh
@@ -292,29 +374,33 @@ func (tp *Tape) ChannelNorm(x, gamma, beta *Node, eps float64) *Node {
 		}
 	}
 	return tp.node(out, func(n *Node) {
-		gGamma := tensor.New(c)
-		gBeta := tensor.New(c)
-		gx := tensor.New(c, h, w)
+		gGrad := gamma.requiresGrad && gamma.Grad != nil
+		bGrad := beta.requiresGrad && beta.Grad != nil
+		xGrad := x.requiresGrad && x.Grad != nil
 		for ci := 0; ci < c; ci++ {
 			gOut := n.Grad.Data[ci*m : (ci+1)*m]
 			xh := xhat.Data[ci*m : (ci+1)*m]
 			var sumG, sumGX float64
 			for i := range gOut {
-				gGamma.Data[ci] += gOut[i] * xh[i]
-				gBeta.Data[ci] += gOut[i]
 				sumG += gOut[i]
 				sumGX += gOut[i] * xh[i]
 			}
-			// Standard batch-norm input gradient, per channel:
-			// dx = gamma*invStd/m * (m*g - sum(g) - xhat*sum(g*xhat))
-			coef := gamma.Value.Data[ci] * invStd[ci] / float64(m)
-			for i := range gOut {
-				gx.Data[ci*m+i] = coef * (float64(m)*gOut[i] - sumG - xh[i]*sumGX)
+			if gGrad {
+				gamma.Grad.Data[ci] += sumGX
+			}
+			if bGrad {
+				beta.Grad.Data[ci] += sumG
+			}
+			if xGrad {
+				// Standard batch-norm input gradient, per channel:
+				// dx = gamma*invStd/m * (m*g - sum(g) - xhat*sum(g*xhat))
+				coef := gamma.Value.Data[ci] * invStd.Data[ci] / float64(m)
+				gx := x.Grad.Data[ci*m : (ci+1)*m]
+				for i := range gOut {
+					gx[i] += coef * (float64(m)*gOut[i] - sumG - xh[i]*sumGX)
+				}
 			}
 		}
-		accumulate(gamma, gGamma)
-		accumulate(beta, gBeta)
-		accumulate(x, gx)
 	}, x, gamma, beta)
 }
 
@@ -323,7 +409,7 @@ func (tp *Tape) ChannelNorm(x, gamma, beta *Node, eps float64) *Node {
 func (tp *Tape) GlobalAvgPool(x *Node) *Node {
 	c, h, w := x.Value.Shape[0], x.Value.Shape[1], x.Value.Shape[2]
 	m := h * w
-	out := tensor.New(c)
+	out := tp.arena.New(c)
 	for ci := 0; ci < c; ci++ {
 		var s float64
 		for _, v := range x.Value.Data[ci*m : (ci+1)*m] {
@@ -332,18 +418,17 @@ func (tp *Tape) GlobalAvgPool(x *Node) *Node {
 		out.Data[ci] = s / float64(m)
 	}
 	return tp.node(out, func(n *Node) {
-		if !x.requiresGrad {
+		if !x.requiresGrad || x.Grad == nil {
 			return
 		}
-		g := tensor.New(c, h, w)
 		inv := 1.0 / float64(m)
 		for ci := 0; ci < c; ci++ {
 			gv := n.Grad.Data[ci] * inv
-			for i := 0; i < m; i++ {
-				g.Data[ci*m+i] = gv
+			seg := x.Grad.Data[ci*m : (ci+1)*m]
+			for i := range seg {
+				seg[i] += gv
 			}
 		}
-		accumulate(x, g)
 	}, x)
 }
 

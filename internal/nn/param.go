@@ -18,6 +18,7 @@ type Param struct {
 	Grad  *tensor.Tensor
 
 	m, v *tensor.Tensor // Adam first/second moment estimates
+	idx  int            // registration index; GradBuffer slots key on it
 }
 
 // Size returns the number of scalar weights.
@@ -49,6 +50,7 @@ func (ps *ParamSet) New(name string, shape ...int) *Param {
 		Grad:  tensor.New(shape...),
 		m:     tensor.New(shape...),
 		v:     tensor.New(shape...),
+		idx:   len(ps.params),
 	}
 	ps.params = append(ps.params, p)
 	ps.byName[name] = p
@@ -89,6 +91,52 @@ func (ps *ParamSet) All() []*Param { return ps.params }
 func (ps *ParamSet) ZeroGrad() {
 	for _, p := range ps.params {
 		p.ZeroGrad()
+	}
+}
+
+// GradBuffer is a private set of gradient accumulators parallel to a
+// ParamSet — the per-worker half of data-parallel training. Each worker
+// records backward passes into its own buffer (Tape.Grads), and the
+// coordinator folds the buffers into the shared parameter gradients in
+// fixed worker-index order, so a given seed + worker count always reduces
+// in the same floating-point order (see internal/core's deterministic-
+// training contract).
+type GradBuffer struct {
+	ps    *ParamSet
+	grads []*tensor.Tensor
+}
+
+// NewGradBuffer returns a zeroed gradient buffer shaped like ps. The
+// buffer is bound to ps's registration order; registering more parameters
+// afterwards invalidates it.
+func (ps *ParamSet) NewGradBuffer() *GradBuffer {
+	gb := &GradBuffer{ps: ps, grads: make([]*tensor.Tensor, len(ps.params))}
+	for i, p := range ps.params {
+		gb.grads[i] = tensor.New(p.Value.Shape...)
+	}
+	return gb
+}
+
+// Grad returns the buffer's accumulator for p.
+func (gb *GradBuffer) Grad(p *Param) *tensor.Tensor { return gb.grads[p.idx] }
+
+// Zero clears every accumulator.
+func (gb *GradBuffer) Zero() {
+	for _, g := range gb.grads {
+		g.Zero()
+	}
+}
+
+// AccumulateInto adds the buffered gradients into ps's parameter gradients
+// (the reduction step). Element order within each parameter is preserved,
+// so reducing a single buffer is bit-identical to having accumulated
+// directly into the parameter gradients.
+func (gb *GradBuffer) AccumulateInto(ps *ParamSet) {
+	if ps != gb.ps {
+		panic("nn: GradBuffer.AccumulateInto called with a different ParamSet")
+	}
+	for i, p := range ps.params {
+		p.Grad.AddInPlace(gb.grads[i])
 	}
 }
 

@@ -10,7 +10,15 @@
 // node propagates gradients in reverse recording order. Model parameters are
 // Param values whose gradient tensors are shared with their leaf nodes, so
 // gradients accumulate across samples (mini-batch gradient accumulation)
-// until an optimizer step consumes and clears them.
+// until an optimizer step consumes and clears them. When a Tape's Grads
+// buffer is set, leaf gradients are routed into that private GradBuffer
+// instead — the data-parallel training mode, where each worker accumulates
+// locally and the buffers are reduced in fixed order afterwards.
+//
+// Node structs, interior values and gradients are carved out of per-tape
+// arenas; Reset reclaims everything at once, so a reused tape performs
+// O(nodes) small closure allocations per pass instead of O(elements) tensor
+// allocations.
 package nn
 
 import (
@@ -25,22 +33,37 @@ type Node struct {
 	Grad  *tensor.Tensor
 
 	requiresGrad bool
-	backward     func()
+	back         func(n *Node)
 }
 
 // RequiresGrad reports whether gradients flow through this node.
 func (n *Node) RequiresGrad() bool { return n.requiresGrad }
 
+// nodeChunk is the number of Node structs per arena chunk. Chunks are
+// never resized, so *Node pointers stay valid as the tape grows.
+const nodeChunk = 256
+
 // Tape records operations for reverse-mode differentiation.
 //
-// A Tape is intended to live for one forward/backward pass over one sample;
-// allocate with NewTape, run the model, call Backward, then discard (or
-// Reset to reuse the backing slice).
+// A Tape lives for one forward/backward pass over one sample; allocate with
+// NewTape, run the model, call Backward, then Reset to reuse the backing
+// arenas for the next sample (or discard the tape). Values and gradients
+// handed out by a tape are invalidated by Reset.
 type Tape struct {
 	nodes []*Node
 	// Eval disables gradient recording: ops still compute values but
 	// backward closures are dropped. Used for inference and validation.
 	Eval bool
+	// Grads, when non-nil, routes parameter-leaf gradients into a private
+	// buffer instead of the shared Param.Grad accumulators. Data-parallel
+	// training workers each set their own buffer.
+	Grads *GradBuffer
+
+	arena     tensor.Arena
+	chunks    [][]Node
+	chunkIdx  int
+	chunkOff  int
+	liveNodes int
 }
 
 // NewTape returns an empty tape in training mode.
@@ -49,44 +72,85 @@ func NewTape() *Tape { return &Tape{} }
 // NewEvalTape returns a tape that records no gradients.
 func NewEvalTape() *Tape { return &Tape{Eval: true} }
 
-// Reset clears the tape for reuse.
-func (tp *Tape) Reset() { tp.nodes = tp.nodes[:0] }
+// Reset clears the tape for reuse, reclaiming every node, value and
+// gradient carved from its arenas since the previous Reset.
+func (tp *Tape) Reset() {
+	tp.nodes = tp.nodes[:0]
+	tp.chunkIdx, tp.chunkOff = 0, 0
+	tp.liveNodes = 0
+	tp.arena.Reset()
+}
 
 // Len returns the number of recorded nodes (0 in eval mode).
 func (tp *Tape) Len() int { return len(tp.nodes) }
 
+// Alloc carves a zeroed tensor out of the tape's arena. The tensor is
+// valid until the next Reset; use it for per-sample inputs (one-hot
+// vectors, normalized grids) that previously heap-allocated per call.
+func (tp *Tape) Alloc(shape ...int) *tensor.Tensor { return tp.arena.New(shape...) }
+
+// newNode hands out a Node from the chunked arena with all fields set.
+func (tp *Tape) newNode(val, grad *tensor.Tensor, requiresGrad bool, back func(*Node)) *Node {
+	for {
+		if tp.chunkIdx < len(tp.chunks) {
+			chunk := tp.chunks[tp.chunkIdx]
+			if tp.chunkOff < len(chunk) {
+				n := &chunk[tp.chunkOff]
+				tp.chunkOff++
+				tp.liveNodes++
+				n.Value, n.Grad, n.requiresGrad, n.back = val, grad, requiresGrad, back
+				return n
+			}
+			tp.chunkIdx++
+			tp.chunkOff = 0
+			continue
+		}
+		tp.chunks = append(tp.chunks, make([]Node, nodeChunk))
+	}
+}
+
 // Const wraps a tensor as a leaf with no gradient.
 func (tp *Tape) Const(t *tensor.Tensor) *Node {
-	return &Node{Value: t}
+	return tp.newNode(t, nil, false, nil)
+}
+
+// ConstVec is Const over a freshly arena-allocated vector — the common
+// "a few floats as input" case of the encoders.
+func (tp *Tape) ConstVec(vals ...float64) *Node {
+	return tp.Const(tp.arena.Vector(vals...))
 }
 
 // Leaf wraps a parameter's value as a differentiable leaf whose gradient
-// tensor is the parameter's accumulator, so backward passes add into it.
+// tensor is the parameter's accumulator (or the tape's GradBuffer slot
+// when Grads is set), so backward passes add into it.
 func (tp *Tape) Leaf(p *Param) *Node {
 	if tp.Eval {
-		return &Node{Value: p.Value}
+		return tp.newNode(p.Value, nil, false, nil)
 	}
-	return &Node{Value: p.Value, Grad: p.Grad, requiresGrad: true}
+	g := p.Grad
+	if tp.Grads != nil {
+		g = tp.Grads.Grad(p)
+	}
+	return tp.newNode(p.Value, g, true, nil)
 }
 
 // node constructs an interior node. deps that require grad make the result
 // require grad; the backward closure is recorded only in training mode.
 func (tp *Tape) node(val *tensor.Tensor, back func(n *Node), deps ...*Node) *Node {
-	n := &Node{Value: val}
 	if tp.Eval {
-		return n
+		return tp.newNode(val, nil, false, nil)
 	}
+	req := false
 	for _, d := range deps {
 		if d.requiresGrad {
-			n.requiresGrad = true
+			req = true
 			break
 		}
 	}
-	if !n.requiresGrad {
-		return n
+	if !req {
+		return tp.newNode(val, nil, false, nil)
 	}
-	n.Grad = tensor.New(val.Shape...)
-	n.backward = func() { back(n) }
+	n := tp.newNode(val, tp.arena.New(val.Shape...), true, back)
 	tp.nodes = append(tp.nodes, n)
 	return n
 }
@@ -97,6 +161,22 @@ func accumulate(dep *Node, g *tensor.Tensor) {
 		return
 	}
 	dep.Grad.AddInPlace(g)
+}
+
+// accumulateScaled adds s·g into dep's gradient without a temporary.
+func accumulateScaled(dep *Node, g *tensor.Tensor, s float64) {
+	if dep == nil || !dep.requiresGrad || dep.Grad == nil {
+		return
+	}
+	dep.Grad.AddScaledInPlace(g, s)
+}
+
+// accumulateMul adds g ⊗ v into dep's gradient without a temporary.
+func accumulateMul(dep *Node, g, v *tensor.Tensor) {
+	if dep == nil || !dep.requiresGrad || dep.Grad == nil {
+		return
+	}
+	dep.Grad.AddMulInPlace(g, v)
 }
 
 // Backward seeds the gradient of root (which must be a scalar node) with 1
@@ -114,8 +194,8 @@ func (tp *Tape) Backward(root *Node) {
 	root.Grad.Data[0] = 1
 	for i := len(tp.nodes) - 1; i >= 0; i-- {
 		n := tp.nodes[i]
-		if n.backward != nil {
-			n.backward()
+		if n.back != nil {
+			n.back(n)
 		}
 	}
 }

@@ -1,0 +1,101 @@
+package tensor
+
+// Kernel microbenchmarks with allocation reporting, so regressions in the
+// hot linear-algebra paths (and any reintroduced per-call allocation) are
+// visible in plain `go test -bench`.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := randTensor(rng, n, n)
+			y := randTensor(rng, n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			w := randTensor(rng, n, n)
+			x := randTensor(rng, n)
+			dst := New(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatVecInto(dst, w, x)
+			}
+		})
+	}
+}
+
+func BenchmarkMatVecAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := randTensor(rng, 64, 64)
+	x := randTensor(rng, 64)
+	bias := randTensor(rng, 64)
+	dst := New(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVecAddInto(dst, w, x, bias)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := randTensor(rng, n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Transpose(x)
+			}
+		})
+	}
+}
+
+func BenchmarkAddOuterInPlace(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dst := New(64, 64)
+	y := randTensor(rng, 64)
+	x := randTensor(rng, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddOuterInPlace(dst, y, x)
+	}
+}
+
+func BenchmarkArenaNewReset(b *testing.B) {
+	var a Arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			a.New(64)
+		}
+		a.Reset()
+	}
+}

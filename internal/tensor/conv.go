@@ -13,15 +13,38 @@ import "fmt"
 // 5–7 of the paper); the traffic-condition CNN uses 3×3 kernels with
 // stride 2.
 func Conv2D(x, k *Tensor, padH, padW, strideH, strideW int) *Tensor {
-	c, h, w := convCheck(x, k)
-	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
-	oh := (h+2*padH-kh)/strideH + 1
-	ow := (w+2*padW-kw)/strideW + 1
+	oc, oh, ow := conv2DOutShape(x, k, padH, padW, strideH, strideW)
+	out := New(oc, oh, ow)
+	conv2DForward(out, x, k, padH, padW, strideH, strideW)
+	return out
+}
+
+// Conv2DInto is Conv2D with the output carved from an arena instead of the
+// heap, for allocation-free training steps.
+func Conv2DInto(a *Arena, x, k *Tensor, padH, padW, strideH, strideW int) *Tensor {
+	oc, oh, ow := conv2DOutShape(x, k, padH, padW, strideH, strideW)
+	out := a.New(oc, oh, ow)
+	conv2DForward(out, x, k, padH, padW, strideH, strideW)
+	return out
+}
+
+func conv2DOutShape(x, k *Tensor, padH, padW, strideH, strideW int) (oc, oh, ow int) {
+	_, h, w := convCheck(x, k)
+	kh, kw := k.Shape[2], k.Shape[3]
+	oc = k.Shape[0]
+	oh = (h+2*padH-kh)/strideH + 1
+	ow = (w+2*padW-kw)/strideW + 1
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Conv2D output would be empty (x %v, k %v, pad %d,%d stride %d,%d)",
 			x.Shape, k.Shape, padH, padW, strideH, strideW))
 	}
-	out := New(oc, oh, ow)
+	return oc, oh, ow
+}
+
+func conv2DForward(out, x, k *Tensor, padH, padW, strideH, strideW int) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
 	for o := 0; o < oc; o++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -45,7 +68,6 @@ func Conv2D(x, k *Tensor, padH, padW, strideH, strideW int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Conv2DBackward returns the gradients of a Conv2D call with respect to its
@@ -54,9 +76,27 @@ func Conv2D(x, k *Tensor, padH, padW, strideH, strideW int) *Tensor {
 func Conv2DBackward(x, k, gradOut *Tensor, padH, padW, strideH, strideW int) (gradX, gradK *Tensor) {
 	c, h, w := convCheck(x, k)
 	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
-	oh, ow := gradOut.Shape[1], gradOut.Shape[2]
 	gradX = New(c, h, w)
 	gradK = New(oc, c, kh, kw)
+	conv2DBackward(gradX, gradK, x, k, gradOut, padH, padW, strideH, strideW)
+	return gradX, gradK
+}
+
+// Conv2DBackwardInto is Conv2DBackward with the gradient scratch carved from
+// an arena; the returned tensors are valid until the arena is reset.
+func Conv2DBackwardInto(a *Arena, x, k, gradOut *Tensor, padH, padW, strideH, strideW int) (gradX, gradK *Tensor) {
+	c, h, w := convCheck(x, k)
+	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
+	gradX = a.New(c, h, w)
+	gradK = a.New(oc, c, kh, kw)
+	conv2DBackward(gradX, gradK, x, k, gradOut, padH, padW, strideH, strideW)
+	return gradX, gradK
+}
+
+func conv2DBackward(gradX, gradK, x, k, gradOut *Tensor, padH, padW, strideH, strideW int) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
+	oh, ow := gradOut.Shape[1], gradOut.Shape[2]
 	for o := 0; o < oc; o++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -83,7 +123,6 @@ func Conv2DBackward(x, k, gradOut *Tensor, padH, padW, strideH, strideW int) (gr
 			}
 		}
 	}
-	return gradX, gradK
 }
 
 func convCheck(x, k *Tensor) (c, h, w int) {

@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatVecAddMatchesUnfused pins the bit-exactness contract: the fused
+// affine kernel must equal MatVec followed by Add exactly, not just within
+// tolerance, because the deterministic-training guarantee of internal/core
+// rides on it.
+func TestMatVecAddMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 1+rng.Intn(40), 1+rng.Intn(40)
+		w := randTensor(rng, m, n)
+		x := randTensor(rng, n)
+		b := randTensor(rng, m)
+		got := MatVecAdd(w, x, b)
+		want := Add(MatVec(w, x), b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d elem %d: fused %v != unfused %v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMatMulMatchesReference checks the blocked transposed-B kernel against
+// a naive triple loop on asymmetric shapes crossing block boundaries.
+func TestMatMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 2}, {63, 64, 65}, {70, 130, 33}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		got := MatMul(a, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var want float64
+				for p := 0; p < k; p++ {
+					want += a.Data[i*k+p] * b.Data[p*n+j]
+				}
+				if math.Abs(got.Data[i*n+j]-want) > 1e-12*(1+math.Abs(want)) {
+					t.Fatalf("%v: out[%d,%d] = %v, want %v", dims, i, j, got.Data[i*n+j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAddScaledAndAddMulInPlace(t *testing.T) {
+	dst := Vector(1, 2, 3)
+	dst.AddScaledInPlace(Vector(10, 20, 30), -0.5)
+	for i, want := range []float64{-4, -8, -12} {
+		if dst.Data[i] != want {
+			t.Fatalf("AddScaledInPlace[%d] = %v, want %v", i, dst.Data[i], want)
+		}
+	}
+	dst = Vector(1, 1, 1)
+	dst.AddMulInPlace(Vector(2, 3, 4), Vector(5, 6, 7))
+	for i, want := range []float64{11, 19, 29} {
+		if dst.Data[i] != want {
+			t.Fatalf("AddMulInPlace[%d] = %v, want %v", i, dst.Data[i], want)
+		}
+	}
+}

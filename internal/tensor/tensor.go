@@ -130,6 +130,28 @@ func (t *Tensor) AddInPlace(o *Tensor) {
 	}
 }
 
+// AddScaledInPlace accumulates s·o into t element-wise without allocating
+// (the backward fast path of Sub/Scale nodes).
+func (t *Tensor) AddScaledInPlace(o *Tensor, s float64) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddScaledInPlace shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += s * v
+	}
+}
+
+// AddMulInPlace accumulates a ⊗ b into t element-wise without allocating
+// (the backward fast path of Hadamard-product nodes).
+func (t *Tensor) AddMulInPlace(a, b *Tensor) {
+	if !t.SameShape(a) || !t.SameShape(b) {
+		panic(fmt.Sprintf("tensor: AddMulInPlace shape mismatch %v vs %v vs %v", t.Shape, a.Shape, b.Shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += a.Data[i] * b.Data[i]
+	}
+}
+
 // ScaleInPlace multiplies every element of t by s.
 func (t *Tensor) ScaleInPlace(s float64) {
 	for i := range t.Data {
@@ -194,6 +216,17 @@ func Map(a *Tensor, f func(float64) float64) *Tensor {
 // MatVec returns the matrix-vector product W x for W of shape [m, n] and x
 // of shape [n] (or [n, 1]); the result has shape [m].
 func MatVec(w, x *Tensor) *Tensor {
+	m := w.Shape[0]
+	out := New(m)
+	MatVecInto(out, w, x)
+	return out
+}
+
+// MatVecInto computes W x into dst without allocating. The summation order
+// per output element is strictly sequential over columns, so results are
+// bit-identical to the historical per-element loop (the deterministic-
+// training contract of internal/core depends on this).
+func MatVecInto(dst, w, x *Tensor) {
 	if w.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatVec wants a matrix, got shape %v", w.Shape))
 	}
@@ -201,16 +234,52 @@ func MatVec(w, x *Tensor) *Tensor {
 	if x.Size() != n {
 		panic(fmt.Sprintf("tensor: MatVec size mismatch: W is %v, x has %d elements", w.Shape, x.Size()))
 	}
-	out := New(m)
+	if dst.Size() != m {
+		panic(fmt.Sprintf("tensor: MatVecInto dst has %d elements, want %d", dst.Size(), m))
+	}
+	xd := x.Data[:n]
 	for i := 0; i < m; i++ {
-		row := w.Data[i*n : (i+1)*n]
+		row := w.Data[i*n : (i+1)*n : (i+1)*n]
 		var s float64
 		for j, v := range row {
-			s += v * x.Data[j]
+			s += v * xd[j]
 		}
-		out.Data[i] = s
+		dst.Data[i] = s
 	}
+}
+
+// MatVecAdd returns W x + b — the fused affine kernel behind every linear
+// layer and LSTM gate (one pass, one output, no intermediate W x tensor).
+func MatVecAdd(w, x, b *Tensor) *Tensor {
+	m := w.Shape[0]
+	out := New(m)
+	MatVecAddInto(out, w, x, b)
 	return out
+}
+
+// MatVecAddInto computes W x + b into dst without allocating. Each output
+// element is the sequential column sum plus b[i], exactly matching the
+// unfused MatVec-then-Add composition bit for bit.
+func MatVecAddInto(dst, w, x, b *Tensor) {
+	if w.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatVecAdd wants a matrix, got shape %v", w.Shape))
+	}
+	m, n := w.Shape[0], w.Shape[1]
+	if x.Size() != n || b.Size() != m {
+		panic(fmt.Sprintf("tensor: MatVecAdd size mismatch: W is %v, x has %d, b has %d", w.Shape, x.Size(), b.Size()))
+	}
+	if dst.Size() != m {
+		panic(fmt.Sprintf("tensor: MatVecAddInto dst has %d elements, want %d", dst.Size(), m))
+	}
+	xd := x.Data[:n]
+	for i := 0; i < m; i++ {
+		row := w.Data[i*n : (i+1)*n : (i+1)*n]
+		var s float64
+		for j, v := range row {
+			s += v * xd[j]
+		}
+		dst.Data[i] = s + b.Data[i]
+	}
 }
 
 // MatVecT returns Wᵀ y for W of shape [m, n] and y of size m; result [n].
@@ -289,24 +358,40 @@ func Outer(y, x *Tensor) *Tensor {
 	return out
 }
 
+// matMulBlock is the cache-blocking tile edge of MatMul (in elements). 64
+// keeps one A tile + one Bᵀ tile comfortably inside L1 for float64.
+const matMulBlock = 64
+
 // MatMul returns A B for A [m, k] and B [k, n].
+//
+// The kernel transposes B once into a scratch buffer and then runs blocked
+// dot products, so both operands stream sequentially through cache. Unlike
+// the historical kernel there is no per-element zero-skip branch: the branch
+// paid on every dense element to help only pathologically sparse inputs.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	// Bᵀ scratch: column j of B becomes the contiguous row j of bt.
+	bt := make([]float64, k*n)
+	transposeInto(bt, b.Data, k, n)
+	for ii := 0; ii < m; ii += matMulBlock {
+		iEnd := min(ii+matMulBlock, m)
+		for jj := 0; jj < n; jj += matMulBlock {
+			jEnd := min(jj+matMulBlock, n)
+			for i := ii; i < iEnd; i++ {
+				arow := a.Data[i*k : (i+1)*k : (i+1)*k]
+				orow := out.Data[i*n : (i+1)*n : (i+1)*n]
+				for j := jj; j < jEnd; j++ {
+					bcol := bt[j*k : (j+1)*k : (j+1)*k]
+					var s float64
+					for p, av := range arow {
+						s += av * bcol[p]
+					}
+					orow[j] = s
+				}
 			}
 		}
 	}
@@ -320,12 +405,26 @@ func Transpose(a *Tensor) *Tensor {
 	}
 	m, n := a.Shape[0], a.Shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = a.Data[i*n+j]
+	transposeInto(out.Data, a.Data, m, n)
+	return out
+}
+
+// transposeInto writes the [m, n] row-major matrix src into dst as [n, m],
+// tiled so both sides stay cache-resident on large matrices.
+func transposeInto(dst, src []float64, m, n int) {
+	const tile = 32
+	for ii := 0; ii < m; ii += tile {
+		iEnd := min(ii+tile, m)
+		for jj := 0; jj < n; jj += tile {
+			jEnd := min(jj+tile, n)
+			for i := ii; i < iEnd; i++ {
+				row := src[i*n : (i+1)*n]
+				for j := jj; j < jEnd; j++ {
+					dst[j*m+i] = row[j]
+				}
+			}
 		}
 	}
-	return out
 }
 
 // Concat concatenates 1-D tensors into one vector.

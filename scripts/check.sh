@@ -24,7 +24,8 @@ go test ./...
 
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/...
-go test -race -run 'ConcurrentSafe|Trace' ./internal/core/
+go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
+go test -race -run 'Parallel' ./internal/embed/
 
 echo "== tracebench gate (disabled-tracing span overhead)"
 go test -run 'TestUntracedSpanOverhead' ./internal/obs/
@@ -35,5 +36,9 @@ go test -run 'TestPredictionStampDisabledOverhead' ./internal/infer/
 echo "== bench smoke (internal/infer + internal/obs spans)"
 go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
 go test -run '^$' -bench 'BenchmarkSpan|BenchmarkTraceStoreOffer' -benchtime=100ms ./internal/obs/
+
+echo "== trainbench smoke (data-parallel training throughput; gate CPU-aware)"
+go run ./cmd/ttebench -trainbench -trainbench-orders 200 -trainbench-steps 10 \
+    -trainbench-workers 1,2,4 -trainbench-gate 2
 
 echo "ok"
