@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt bench tracebench qualitybench servebench trainbench
+.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench trainbench
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ check:
 	./scripts/check.sh
 
 race:
-	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/...
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/...
 	go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
 	go test -race -run 'Parallel' ./internal/embed/
 
@@ -28,6 +28,10 @@ tracebench:
 
 qualitybench:
 	go test -run 'TestPredictionStampDisabledOverhead' -v ./internal/infer/
+
+slobench:
+	go test -run 'TestSLORequestAccountingOverhead' -v ./internal/infer/
+	go test -run '^$$' -bench 'BenchmarkEvaluatorTick|BenchmarkManagerSet' ./internal/slo/
 
 servebench:
 	go run ./cmd/ttebench -servebench

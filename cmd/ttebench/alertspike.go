@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"deepod/internal/core"
+	"deepod/internal/infer"
+	"deepod/internal/obs"
+	"deepod/internal/prof"
+	"deepod/internal/roadnet"
+	"deepod/internal/serve"
+	"deepod/internal/slo"
+	"deepod/internal/traj"
+)
+
+// alertSpikeReport is the alert-spike scenario's slice of
+// BENCH_serve.json: how fast the SLO engine notices a synthetic error
+// spike on a live serving stack, how fast it stands down after recovery,
+// and what the monitoring costs when nothing is wrong.
+type alertSpikeReport struct {
+	Rounds         int     `json:"rounds"`
+	EvalIntervalMs float64 `json:"eval_interval_ms"`
+	// DetectP50Ms / DetectMaxMs: spike start → fast-burn alert firing.
+	DetectP50Ms float64 `json:"detect_p50_ms"`
+	DetectMaxMs float64 `json:"detect_max_ms"`
+	// ResolveP50Ms: recovery start → alert resolved (bounded below by the
+	// rule's short confirmation window).
+	ResolveP50Ms float64 `json:"resolve_p50_ms"`
+	// Profiles captured by the firing alerts (≥1 expected).
+	Profiles int `json:"profiles"`
+	// SLOOverheadPct is the healthy-path throughput cost of the running
+	// evaluator vs the same stack with it stopped. The evaluation loop is
+	// off the request path, so this is expected to be noise around zero.
+	SLOOverheadPct float64 `json:"slo_overhead_pct"`
+}
+
+// runAlertSpike drives a synthetic error spike through a real engine +
+// serve stack wired exactly like tteserve's: burn-rate evaluator, alert
+// manager, anomaly-triggered profiler. Errors are injected between the
+// HTTP layer and the engine so they surface as 500s — the availability
+// SLI's "bad" events.
+func runAlertSpike(o serveBenchOptions, m *core.Model, cells *roadnet.EdgeIndex,
+	match func(context.Context, traj.ODInput) (traj.MatchedOD, error), ods []traj.ODInput) (*alertSpikeReport, error) {
+	const (
+		interval = 25 * time.Millisecond
+		shortWin = 250 * time.Millisecond
+		longWin  = time.Second
+		burn     = 5.0
+		rounds   = 3
+	)
+	reg := obs.NewRegistry()
+	eng, err := infer.New(infer.Config{
+		Match:    match,
+		Snapshot: infer.ModelSnapshot("alertspike", m),
+		Cells:    cells,
+		Slotter:  m.Slotter(),
+		Registry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	var spike atomic.Bool
+	inferFn := func(ctx context.Context, od traj.ODInput) (infer.Result, error) {
+		if spike.Load() {
+			return infer.Result{}, errors.New("injected backend failure")
+		}
+		return eng.Do(ctx, od)
+	}
+
+	mgr := slo.NewManager(slo.ManagerConfig{Registry: reg}) // no logger: keep bench output clean
+	profiler, err := prof.New(prof.Config{
+		Dir:         o.ProfileDir,
+		CPUDuration: 20 * time.Millisecond,
+		Cooldown:    time.Millisecond,
+		Registry:    reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer profiler.Close()
+	mgr.Subscribe(func(ev slo.Event) {
+		if ev.State == slo.StateFiring {
+			profiler.TriggerAsync("alert:"+ev.Name, ev.Labels)
+		}
+	})
+
+	ev, err := slo.New(slo.Config{
+		Objectives: []slo.Objective{{
+			Name:   "availability",
+			Target: 0.99,
+			Ratio: &slo.RatioSLI{
+				Bad:   slo.Selector{Metric: "tte_http_requests_total", Match: map[string]string{"route": "/estimate", "code": "5xx"}},
+				Total: slo.Selector{Metric: "tte_http_requests_total", Match: map[string]string{"route": "/estimate"}},
+			},
+		}},
+		Rules:    []slo.BurnRule{{Name: "fast", Severity: "page", Long: longWin, Short: shortWin, Burn: burn}},
+		Interval: interval,
+		Source:   reg,
+		Manager:  mgr,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	srv, err := serve.New(serve.Config{City: o.City, Infer: inferFn, Registry: reg})
+	if err != nil {
+		return nil, err
+	}
+	h := srv.Handler()
+
+	send := func(i int) int {
+		od := ods[i%len(ods)]
+		body := fmt.Sprintf(`{"origin":{"X":%g,"Y":%g},"dest":{"X":%g,"Y":%g},"depart_sec":%g}`,
+			od.Origin.X, od.Origin.Y, od.Dest.X, od.Dest.Y, od.DepartSec)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/estimate", strings.NewReader(body)))
+		return rec.Code
+	}
+
+	// Healthy-path throughput, evaluator running.
+	const overheadN = 1000
+	measure := func() float64 {
+		start := time.Now()
+		for i := 0; i < overheadN; i++ {
+			send(i)
+		}
+		return float64(overheadN) / time.Since(start).Seconds()
+	}
+	ev.Start()
+	for i := 0; i < 100; i++ { // warm the path before timing it
+		send(i)
+	}
+	qpsOn := measure()
+
+	rep := &alertSpikeReport{Rounds: rounds, EvalIntervalMs: interval.Seconds() * 1000}
+	var detects, resolves []float64
+	for r := 0; r < rounds; r++ {
+		// Healthy padding long enough that the previous round's badness has
+		// left the short window before the next spike lands.
+		padEnd := time.Now().Add(shortWin + 2*interval)
+		for i := 0; time.Now().Before(padEnd); i++ {
+			send(i)
+		}
+		spike.Store(true)
+		t0 := time.Now()
+		for i := 0; len(mgr.Active()) == 0; i++ {
+			if time.Since(t0) > 5*time.Second {
+				return nil, fmt.Errorf("alertspike: round %d: alert did not fire within 5s", r)
+			}
+			send(i)
+		}
+		detects = append(detects, time.Since(t0).Seconds()*1000)
+
+		spike.Store(false)
+		t1 := time.Now()
+		for i := 0; len(mgr.Active()) > 0; i++ {
+			if time.Since(t1) > 10*time.Second {
+				return nil, fmt.Errorf("alertspike: round %d: alert did not resolve within 10s", r)
+			}
+			send(i)
+		}
+		resolves = append(resolves, time.Since(t1).Seconds()*1000)
+	}
+
+	// Captures run async off the firing edge; give the last one a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(profiler.List()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ev.Close()
+	qpsOff := measure()
+	if qpsOff > 0 {
+		rep.SLOOverheadPct = 100 * (1 - qpsOn/qpsOff)
+	}
+
+	sort.Float64s(detects)
+	sort.Float64s(resolves)
+	rep.DetectP50Ms = percentile(detects, 0.5)
+	rep.DetectMaxMs = percentile(detects, 1)
+	rep.ResolveP50Ms = percentile(resolves, 0.5)
+	rep.Profiles = len(profiler.List())
+	return rep, nil
+}

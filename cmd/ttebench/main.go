@@ -15,8 +15,11 @@
 // With -servebench, ttebench instead load-tests the serving path: the
 // direct per-request pipeline vs the inference engine (internal/infer)
 // with and without its estimate cache, on a repeated-OD workload. It
-// prints QPS / p50 / p99 per mode and writes the report to
-// -servebench-out (default BENCH_serve.json).
+// prints QPS / p50 / p99 per mode, then drives a synthetic error spike
+// through the SLO engine (internal/slo) and reports burn-rate alert
+// detection/resolution latency plus monitoring overhead, and writes the
+// report to -servebench-out (default BENCH_serve.json).
+// -servebench-profile-dir keeps the alert-triggered profile bundles.
 //
 // With -trainbench, ttebench measures offline-training throughput
 // (steps/sec, samples/sec, ns and allocs per sample) at several
@@ -50,6 +53,7 @@ func main() {
 		sbOrders      = flag.Int("servebench-orders", 400, "orders synthesized for the workload city")
 		sbSeed        = flag.Int64("servebench-seed", 1, "workload random seed")
 		sbOut         = flag.String("servebench-out", "BENCH_serve.json", "JSON report path")
+		sbProfileDir  = flag.String("servebench-profile-dir", "", "write profiles captured during the alert-spike scenario here (empty = in-memory only)")
 
 		trainbench = flag.Bool("trainbench", false, "run the training throughput benchmark instead of the paper experiments")
 		tbCity     = flag.String("trainbench-city", "chengdu-s", "city preset for -trainbench")
@@ -93,6 +97,7 @@ func main() {
 			Orders:      *sbOrders,
 			Seed:        *sbSeed,
 			Out:         *sbOut,
+			ProfileDir:  *sbProfileDir,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -30,6 +31,9 @@ type serveBenchOptions struct {
 	Orders      int
 	Seed        int64
 	Out         string
+	// ProfileDir receives the profile bundles captured during the
+	// alert-spike scenario (empty keeps them in memory only).
+	ProfileDir string
 }
 
 // serveBenchMode is one measured serving configuration.
@@ -60,6 +64,9 @@ type serveBenchReport struct {
 	// FeedbackOverheadPct is the throughput cost of full quality monitoring
 	// (stamp + pending table + feedback join) vs the bare engine mode.
 	FeedbackOverheadPct float64 `json:"feedback_overhead_pct"`
+	// AlertSpike reports the synthetic error-spike scenario: burn-rate
+	// alert detection/resolution latency and SLO monitoring overhead.
+	AlertSpike *alertSpikeReport `json:"alert_spike,omitempty"`
 }
 
 // runServeBench measures the serving path four ways on a repeated-OD
@@ -255,6 +262,15 @@ func runServeBench(o serveBenchOptions) error {
 		report.FeedbackOverheadPct = 100 * (1 - report.Modes[3].QPS/report.Modes[1].QPS)
 	}
 
+	// Alert-spike scenario: synthetic error spike through the SLO engine on
+	// the same city and workload, reporting detection/resolution latency.
+	log.Printf("servebench: alert-spike scenario (burn-rate detection latency)")
+	spikeRep, err := runAlertSpike(o, m, cells, match, ods)
+	if err != nil {
+		return err
+	}
+	report.AlertSpike = spikeRep
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "Serving load benchmark — %s, %d clients, %d distinct ODs\n",
 		o.City, o.Concurrency, o.DistinctODs)
@@ -267,6 +283,9 @@ func runServeBench(o serveBenchOptions) error {
 	fmt.Fprintf(&b, "cached throughput vs direct: %.1fx\n", report.SpeedupCachedVsDirect)
 	fmt.Fprintf(&b, "quality monitoring overhead vs bare engine: %.1f%% (online MAE %.1fs over %d joined)\n",
 		report.FeedbackOverheadPct, fb.QualityMAESec, fb.Joined)
+	fmt.Fprintf(&b, "alert spike (%d rounds, %.0f ms eval interval): detect p50 %.0f ms / max %.0f ms, resolve p50 %.0f ms, %d profiles, SLO overhead %.1f%%\n",
+		spikeRep.Rounds, spikeRep.EvalIntervalMs, spikeRep.DetectP50Ms, spikeRep.DetectMaxMs,
+		spikeRep.ResolveP50Ms, spikeRep.Profiles, spikeRep.SLOOverheadPct)
 	fmt.Println(b.String())
 
 	f, err := os.Create(o.Out)
@@ -286,11 +305,20 @@ func runServeBench(o serveBenchOptions) error {
 	return nil
 }
 
-// percentile returns the q-quantile of sorted values (nearest rank).
+// percentile returns the q-quantile of sorted values by the nearest-rank
+// (ceil) definition: the smallest value with at least ⌈q·n⌉ values at or
+// below it. The old int(q*(n-1)) truncation biased high quantiles low on
+// small samples — on 100 values p99 read index 98 instead of 99.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
 }

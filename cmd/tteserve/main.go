@@ -17,6 +17,16 @@
 //	POST /reload       → re-read -model from disk and atomically swap it in
 //	GET  /metrics      → Prometheus text exposition (see README "Observability")
 //	GET  /debug/traces → tail-sampled request traces as JSON
+//	GET  /debug/slo    → SLO status: per-objective SLI, error budget, burn rates
+//	GET  /debug/alerts → firing alerts and transition history
+//	GET  /debug/profiles → alert-triggered profile bundles (list + pprof download)
+//
+// With -slo (default on) the SLO engine evaluates burn-rate alert rules
+// over the built-in objectives (availability, latency, shed rate of
+// /estimate) every -slo-interval; -slo-config swaps in custom objectives
+// and rules, -burn-fast tunes the default page rule, and firing alerts
+// capture CPU/heap/goroutine profiles (-profile-on-alert, -profile-dir).
+// The quality monitor's drift alert routes through the same manager.
 //
 // Every request is traced: the trace ID is taken from X-Trace-Id (or
 // generated), echoed in the response, stamped on every log line, and the
@@ -47,9 +57,11 @@ import (
 	"deepod/internal/core"
 	"deepod/internal/infer"
 	"deepod/internal/obs"
+	"deepod/internal/prof"
 	"deepod/internal/quality"
 	"deepod/internal/roadnet"
 	"deepod/internal/serve"
+	"deepod/internal/slo"
 	"deepod/internal/traj"
 )
 
@@ -67,6 +79,15 @@ func recorderOrNil(mon *quality.Monitor) infer.PredictionRecorder {
 		return nil
 	}
 	return mon
+}
+
+// alertSinkOrNil keeps a nil *slo.Manager from becoming a non-nil
+// AlertSink interface on the quality config.
+func alertSinkOrNil(m *slo.Manager) quality.AlertSink {
+	if m == nil {
+		return nil
+	}
+	return m
 }
 
 func main() {
@@ -104,6 +125,13 @@ func main() {
 		qualityWindow  = flag.Duration("quality-window", time.Minute, "quality metric aggregation window")
 		pendingTTL     = flag.Duration("pending-ttl", 10*time.Minute, "how long a stamped prediction waits for feedback before expiring")
 		driftThreshold = flag.Float64("drift-threshold", 0.2, "PSI above which the error distribution counts as drifted")
+
+		sloOn       = flag.Bool("slo", true, "SLO engine: burn-rate alerting over the built-in objectives, GET /debug/slo and /debug/alerts")
+		sloConfig   = flag.String("slo-config", "", "JSON file with custom SLO objectives and burn rules (empty = built-in defaults)")
+		sloInterval = flag.Duration("slo-interval", 10*time.Second, "SLO evaluation period (a -slo-config interval_sec overrides)")
+		burnFast    = flag.Float64("burn-fast", 14.4, "fast-window burn-rate threshold for the default page rule")
+		profOnAlert = flag.Bool("profile-on-alert", true, "capture a CPU/heap/goroutine profile bundle when an alert fires")
+		profileDir  = flag.String("profile-dir", "", "mirror captured profiles to this directory (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -181,6 +209,54 @@ func main() {
 		SampleRate: *traceSample,
 	})
 
+	// The SLO/alerting layer is assembled before the engine branch so the
+	// quality monitor can route its drift alert through the same manager.
+	var (
+		alertMgr *slo.Manager
+		profiler *prof.Profiler
+		sloEval  *slo.Evaluator
+	)
+	if *sloOn {
+		alertMgr = slo.NewManager(slo.ManagerConfig{Logger: logger})
+		profiler, err = prof.New(prof.Config{Dir: *profileDir, Logger: logger})
+		if err != nil {
+			fatal("building profiler", err)
+		}
+		defer profiler.Close()
+		if *profOnAlert {
+			alertMgr.Subscribe(func(ev slo.Event) {
+				if ev.State == slo.StateFiring {
+					profiler.TriggerAsync("alert:"+ev.Name, ev.Labels)
+				}
+			})
+		}
+		objectives := slo.DefaultObjectives()
+		rules := slo.DefaultRules(*burnFast)
+		interval := *sloInterval
+		if *sloConfig != "" {
+			var cfgInterval time.Duration
+			objectives, rules, cfgInterval, err = slo.LoadConfig(*sloConfig)
+			if err != nil {
+				fatal("loading SLO config", err)
+			}
+			if cfgInterval > 0 {
+				interval = cfgInterval
+			}
+		}
+		sloEval, err = slo.New(slo.Config{
+			Objectives: objectives,
+			Rules:      rules,
+			Interval:   interval,
+			Manager:    alertMgr,
+			Logger:     logger,
+		})
+		if err != nil {
+			fatal("building SLO evaluator", err)
+		}
+		sloEval.Start()
+		defer sloEval.Close()
+	}
+
 	bounds := c.Graph.Bounds()
 	scfg := serve.Config{
 		City:   c.Name,
@@ -193,6 +269,9 @@ func main() {
 		Logger:         logger,
 		AccessLogEvery: *logEvery,
 		Traces:         traces,
+		SLO:            sloEval,
+		Alerts:         alertMgr,
+		Profiles:       profiler,
 	}
 
 	scfg.External = c.Grid.External
@@ -219,6 +298,7 @@ func main() {
 				Cells:          cells, // same quantizer as the estimate cache
 				Slotter:        snap.Slotter,
 				Logger:         logger,
+				Alerts:         alertSinkOrNil(alertMgr),
 			})
 			if snap.RefDist == nil {
 				logger.Info("quality: no reference error distribution in the model; drift detection off until a reload provides one")

@@ -27,6 +27,7 @@
 //	tte_infer_batch_size             histogram, requests per worker batch
 //	tte_infer_cache_events_total     counter {event=hit|miss|evict_lru|evict_ttl|evict_stale}
 //	tte_infer_cache_entries          gauge, live cache entries
+//	tte_infer_requests_total         counter, valid requests (shed-rate SLO denominator)
 //	tte_infer_shed_total             counter {reason=queue_full|queue_timeout}
 //	tte_infer_reloads_total          counter, snapshot swaps
 package infer
@@ -207,6 +208,7 @@ type Engine struct {
 	depthGauge  *obs.Gauge
 	queueWait   *obs.Histogram
 	batchSize   *obs.Histogram
+	requests    *obs.Counter
 	shedFull    *obs.Counter
 	shedTimeout *obs.Counter
 	reloads     *obs.Counter
@@ -257,6 +259,7 @@ func New(cfg Config) (*Engine, error) {
 	reg.Help("tte_infer_batch_size", "Requests served per worker micro-batch.")
 	reg.Help("tte_infer_cache_events_total", "Estimate cache events: hit, miss, evict_lru, evict_ttl, evict_stale.")
 	reg.Help("tte_infer_cache_entries", "Live entries in the estimate cache.")
+	reg.Help("tte_infer_requests_total", "Valid estimate requests admitted to the engine (cache hits included).")
 	reg.Help("tte_infer_shed_total", "Requests shed by admission control, by reason.")
 	reg.Help("tte_infer_reloads_total", "Model snapshot hot swaps since start.")
 	e := &Engine{
@@ -268,6 +271,7 @@ func New(cfg Config) (*Engine, error) {
 		depthGauge:  reg.Gauge("tte_infer_queue_depth"),
 		queueWait:   reg.Histogram("tte_infer_queue_wait_seconds", obs.DefBuckets),
 		batchSize:   reg.Histogram("tte_infer_batch_size", batchSizeBuckets),
+		requests:    reg.Counter("tte_infer_requests_total"),
 		shedFull:    reg.Counter("tte_infer_shed_total", "reason", "queue_full"),
 		shedTimeout: reg.Counter("tte_infer_shed_total", "reason", "queue_timeout"),
 		reloads:     reg.Counter("tte_infer_reloads_total"),
@@ -390,6 +394,7 @@ func (e *Engine) Version() map[string]any {
 
 // Stats is a point-in-time counter snapshot for tests and benchmarks.
 type Stats struct {
+	Requests   uint64
 	Shed       uint64
 	CacheHits  uint64
 	CacheMiss  uint64
@@ -400,8 +405,9 @@ type Stats struct {
 // Stats reads the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Shed:    e.shedFull.Value() + e.shedTimeout.Value(),
-		Reloads: e.reloads.Value(),
+		Requests: e.requests.Value(),
+		Shed:     e.shedFull.Value() + e.shedTimeout.Value(),
+		Reloads:  e.reloads.Value(),
 	}
 	if e.cache != nil {
 		s.CacheHits = e.cache.hitTotal.Value()
@@ -445,6 +451,9 @@ func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
 	if err := validate(od); err != nil {
 		return Result{}, err
 	}
+	// The shed-rate SLO's denominator: tte_infer_shed_total / this ratio is
+	// the fraction of valid requests admission control turned away.
+	e.requests.Inc()
 	inst := e.cur.Load()
 	if e.cache != nil {
 		_, cspan := e.reg.StartSpan(ctx, "infer.cache")

@@ -1,0 +1,43 @@
+package infer
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSLORequestAccountingOverhead gates the per-request cost the SLO
+// layer adds to the serve path. The whole burn-rate pipeline is
+// snapshot-driven — evaluation happens on the evaluator's goroutine, never
+// on a request — so the only per-request addition is the
+// tte_infer_requests_total increment in Engine.Do (the shed-rate SLO's
+// denominator). That increment must stay a single uncontended atomic add;
+// the bound catches a lock, map lookup or allocation sneaking in.
+func TestSLORequestAccountingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate, skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate, skipped under the race detector")
+	}
+	e := newTestEngine(t, testConfig(t, constSnapshot("m1", 42)))
+	var sink atomic.Uint64
+
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.requests.Inc()
+			}
+			sink.Store(e.requests.Value())
+		})
+		if d := time.Duration(r.NsPerOp()); d < best {
+			best = d
+		}
+	}
+	const bound = 100 * time.Nanosecond
+	if best > bound {
+		t.Fatalf("SLO request accounting = %v per request, want <= %v", best, bound)
+	}
+	t.Logf("SLO request accounting: %v per request", best)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileOverflowBucket pins the +Inf clamp: ranks landing in the
+// overflow bucket cannot be interpolated (the bucket has no upper bound)
+// and must clamp to the largest finite bound instead.
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_overflow", []float64{1, 2})
+	h.Observe(0.5) // first bucket
+	h.Observe(5)   // overflow
+	h.Observe(7)   // overflow
+
+	// p99 rank (2.97) is deep in the overflow bucket.
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile(0.99) = %v, want clamp to 2", got)
+	}
+	// All observations in overflow: every quantile clamps.
+	h2 := r.Histogram("q_all_overflow", []float64{1, 2})
+	h2.Observe(10)
+	h2.Observe(20)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h2.Quantile(q); got != 2 {
+			t.Fatalf("all-overflow Quantile(%v) = %v, want 2", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleBucket checks interpolation when one finite bucket
+// holds everything: the estimate interpolates between the implicit lower
+// bound 0 and the bucket's upper bound.
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_single", []float64{10})
+	for i := 0; i < 5; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("Quantile(0.5) = %v, want midpoint 5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("Quantile(1) = %v, want upper bound 10", got)
+	}
+}
+
+// TestQuantileExtremes pins q=0, q=1 and out-of-range q: 0 lands on the
+// first nonempty bucket's lower bound, 1 on the last nonempty bucket's
+// upper bound, and out-of-range values clamp rather than extrapolate.
+func TestQuantileExtremes(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_extremes", []float64{1, 2, 4, 8})
+	h.Observe(1.5) // (1, 2]
+	h.Observe(3)   // (2, 4]
+	h.Observe(3.5) // (2, 4]
+
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want first nonempty lower bound 1", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) = %v, want last nonempty upper bound 4", got)
+	}
+	if got := h.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %v, want clamp to Quantile(0)", got)
+	}
+	if got := h.Quantile(2); got != 4 {
+		t.Fatalf("Quantile(2) = %v, want clamp to Quantile(1)", got)
+	}
+}
+
+// TestQuantileNaNAndEmpty pins the NaN contract: NaN q, an empty
+// histogram, and a histogram with no finite buckets all return NaN
+// instead of a fabricated number.
+func TestQuantileNaNAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_nan", []float64{1, 2})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram Quantile = %v, want NaN", got)
+	}
+	h.Observe(1.5)
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+	// No finite buckets: every observation is overflow and there is no
+	// bound to clamp to.
+	h2 := r.Histogram("q_no_buckets", nil)
+	h2.Observe(1)
+	if got := h2.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("no-finite-bucket Quantile = %v, want NaN", got)
+	}
+}

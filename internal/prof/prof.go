@@ -1,0 +1,335 @@
+// Package prof captures anomaly-triggered runtime profiles.
+//
+// Production incidents are easiest to diagnose with a profile taken while
+// the anomaly is happening, not after. The Profiler subscribes (via the
+// caller) to alert transitions and, when an alert fires, records a
+// CPU/heap/goroutine profile bundle tagged with the triggering alert. A
+// cooldown and a single-inflight guard bound the cost: profiling under
+// overload must never add to the overload. Captures live in a bounded ring
+// — in memory, and mirrored to disk when a directory is configured — and
+// are listed and downloaded over GET /debug/profiles.
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deepod/internal/obs"
+)
+
+// Kinds are the profile kinds each capture records, in capture order.
+var Kinds = []string{"cpu", "heap", "goroutine"}
+
+// Config assembles a Profiler; every field defaults.
+type Config struct {
+	// Dir, when set, mirrors each capture's profiles to
+	// <Dir>/<id>.<kind>.pprof; evicted captures delete their files.
+	Dir string
+	// MaxCaptures bounds the capture ring (default 16).
+	MaxCaptures int
+	// CPUDuration is how long the CPU profile runs (default 1s). Heap and
+	// goroutine profiles are instantaneous snapshots taken after it.
+	CPUDuration time.Duration
+	// Cooldown is the minimum gap between capture starts (default 1m).
+	// Triggers inside the window are counted and dropped, not queued:
+	// a storm of alerts yields one bundle, which is the useful one.
+	Cooldown time.Duration
+	// Registry receives tte_prof_* metrics (default obs.Default()).
+	Registry *obs.Registry
+	// Logger receives one line per capture (nil logs nowhere).
+	Logger *slog.Logger
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// Capture is one recorded profile bundle.
+type Capture struct {
+	ID string `json:"id"`
+	// Trigger names what started the capture ("alert:slo:...", "manual").
+	Trigger string            `json:"trigger"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	At      time.Time         `json:"at"`
+	// Sizes maps profile kind to its byte size.
+	Sizes map[string]int `json:"sizes"`
+	// Files maps profile kind to its on-disk path when Dir is configured.
+	Files map[string]string `json:"files,omitempty"`
+	Err   string            `json:"err,omitempty"`
+
+	data map[string][]byte
+}
+
+// Profiler records rate-limited profile bundles into a bounded ring.
+// Construct with New; Close waits for an in-flight capture to finish.
+type Profiler struct {
+	cfg Config
+	now func() time.Time
+
+	mu        sync.Mutex
+	ring      []*Capture
+	seq       uint64
+	lastStart time.Time
+	inflight  bool
+	wg        sync.WaitGroup
+
+	captures *obs.Counter
+	skipCool *obs.Counter
+	skipBusy *obs.Counter
+}
+
+// New builds a Profiler. When cfg.Dir is set it is created eagerly so a
+// bad path fails at startup, not at the first incident.
+func New(cfg Config) (*Profiler, error) {
+	if cfg.MaxCaptures <= 0 {
+		cfg.MaxCaptures = 16
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Minute
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("prof: create dir: %w", err)
+		}
+	}
+	reg := cfg.Registry
+	reg.Help("tte_prof_captures_total", "Profile bundles captured.")
+	reg.Help("tte_prof_skipped_total", "Profile triggers dropped, by reason.")
+	return &Profiler{
+		cfg:      cfg,
+		now:      cfg.Now,
+		captures: reg.Counter("tte_prof_captures_total"),
+		skipCool: reg.Counter("tte_prof_skipped_total", "reason", "cooldown"),
+		skipBusy: reg.Counter("tte_prof_skipped_total", "reason", "inflight"),
+	}, nil
+}
+
+// TriggerAsync starts a capture in the background if neither the cooldown
+// nor an in-flight capture blocks it. It returns immediately with whether
+// a capture was started — alert subscribers must not block on profiling.
+func (p *Profiler) TriggerAsync(trigger string, labels map[string]string) bool {
+	now := p.now()
+	p.mu.Lock()
+	if p.inflight {
+		p.mu.Unlock()
+		p.skipBusy.Inc()
+		return false
+	}
+	if !p.lastStart.IsZero() && now.Sub(p.lastStart) < p.cfg.Cooldown {
+		p.mu.Unlock()
+		p.skipCool.Inc()
+		return false
+	}
+	p.inflight = true
+	p.lastStart = now
+	p.wg.Add(1)
+	p.mu.Unlock()
+
+	go func() {
+		defer p.wg.Done()
+		p.capture(trigger, labels, now)
+		p.mu.Lock()
+		p.inflight = false
+		p.mu.Unlock()
+	}()
+	return true
+}
+
+// Capture records a bundle synchronously, bypassing cooldown and inflight
+// guards (on-demand use; tests). It still advances the cooldown clock so a
+// manual capture delays the next automatic one.
+func (p *Profiler) Capture(trigger string, labels map[string]string) *Capture {
+	now := p.now()
+	p.mu.Lock()
+	p.lastStart = now
+	p.mu.Unlock()
+	return p.capture(trigger, labels, now)
+}
+
+func (p *Profiler) capture(trigger string, labels map[string]string, at time.Time) *Capture {
+	p.mu.Lock()
+	p.seq++
+	id := fmt.Sprintf("p%06d", p.seq)
+	p.mu.Unlock()
+
+	c := &Capture{
+		ID:      id,
+		Trigger: trigger,
+		Labels:  labels,
+		At:      at,
+		Sizes:   map[string]int{},
+		data:    map[string][]byte{},
+	}
+
+	var errs []string
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err != nil {
+		// Another CPU profile is already running (e.g. net/http/pprof);
+		// keep the bundle useful with the snapshot kinds.
+		errs = append(errs, "cpu: "+err.Error())
+	} else {
+		time.Sleep(p.cfg.CPUDuration)
+		pprof.StopCPUProfile()
+		c.data["cpu"] = cpu.Bytes()
+	}
+	for _, kind := range []string{"heap", "goroutine"} {
+		var buf bytes.Buffer
+		if prof := pprof.Lookup(kind); prof != nil {
+			if err := prof.WriteTo(&buf, 0); err != nil {
+				errs = append(errs, kind+": "+err.Error())
+				continue
+			}
+			c.data[kind] = buf.Bytes()
+		}
+	}
+	for kind, b := range c.data {
+		c.Sizes[kind] = len(b)
+	}
+	if p.cfg.Dir != "" {
+		c.Files = map[string]string{}
+		for kind, b := range c.data {
+			path := filepath.Join(p.cfg.Dir, fmt.Sprintf("%s.%s.pprof", c.ID, kind))
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				errs = append(errs, "write "+kind+": "+err.Error())
+				continue
+			}
+			c.Files[kind] = path
+		}
+	}
+	c.Err = strings.Join(errs, "; ")
+
+	p.mu.Lock()
+	p.ring = append(p.ring, c)
+	var evicted *Capture
+	if len(p.ring) > p.cfg.MaxCaptures {
+		evicted = p.ring[0]
+		p.ring = p.ring[1:]
+	}
+	p.mu.Unlock()
+	if evicted != nil {
+		for _, path := range evicted.Files {
+			_ = os.Remove(path)
+		}
+	}
+
+	p.captures.Inc()
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Info("profile captured",
+			"id", c.ID, "trigger", trigger, "kinds", len(c.data), "err", c.Err)
+	}
+	return c
+}
+
+// List returns retained captures, newest first, without profile bytes.
+func (p *Profiler) List() []Capture {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Capture, 0, len(p.ring))
+	for i := len(p.ring) - 1; i >= 0; i-- {
+		c := *p.ring[i]
+		c.data = nil
+		out = append(out, c)
+	}
+	return out
+}
+
+// Get returns one kind's profile bytes from a retained capture.
+func (p *Profiler) Get(id, kind string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.ring {
+		if c.ID == id {
+			b, ok := c.data[kind]
+			return b, ok
+		}
+	}
+	return nil, false
+}
+
+// Close waits for an in-flight capture to finish. Retained captures stay
+// readable.
+func (p *Profiler) Close() {
+	p.wg.Wait()
+}
+
+// profilesPayload is the GET /debug/profiles body.
+type profilesPayload struct {
+	Captures []Capture `json:"captures"`
+	// Kinds lists the downloadable kinds: /debug/profiles/<id>/<kind>.
+	Kinds []string `json:"kinds"`
+}
+
+// Handler serves the capture list at its mount point and raw pprof
+// downloads at <mount>/<id>/<kind>. POST to <mount>/capture records an
+// on-demand bundle (subject to cooldown, like an alert trigger).
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/profiles"), "/")
+		switch {
+		case rest == "":
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if r.Method == http.MethodHead {
+				return
+			}
+			kinds := append([]string(nil), Kinds...)
+			sort.Strings(kinds)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(profilesPayload{Captures: p.List(), Kinds: kinds})
+		case rest == "capture":
+			if r.Method != http.MethodPost {
+				w.Header().Set("Allow", "POST")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			started := p.TriggerAsync("manual", map[string]string{"remote": r.RemoteAddr})
+			w.Header().Set("Content-Type", "application/json")
+			if !started {
+				w.WriteHeader(http.StatusTooManyRequests)
+			}
+			fmt.Fprintf(w, "{\"started\": %v}\n", started)
+		default:
+			if r.Method != http.MethodGet {
+				w.Header().Set("Allow", "GET")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			id, kind, ok := strings.Cut(rest, "/")
+			if !ok {
+				http.Error(w, "want /debug/profiles/<id>/<kind>", http.StatusBadRequest)
+				return
+			}
+			b, found := p.Get(id, kind)
+			if !found {
+				http.Error(w, "no such profile", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition",
+				fmt.Sprintf("attachment; filename=%s.%s.pprof", id, kind))
+			_, _ = w.Write(b)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"deepod/internal/obs"
+)
+
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *manualClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestProfiler(t *testing.T, cfg Config) (*Profiler, *manualClock) {
+	t.Helper()
+	clock := newManualClock()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.CPUDuration == 0 {
+		cfg.CPUDuration = 5 * time.Millisecond
+	}
+	cfg.Now = clock.now
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p, clock
+}
+
+func TestCaptureProducesAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := newTestProfiler(t, Config{Dir: dir})
+	c := p.Capture("manual", map[string]string{"why": "test"})
+	if c.Err != "" {
+		t.Fatalf("capture error: %s", c.Err)
+	}
+	for _, kind := range Kinds {
+		if c.Sizes[kind] == 0 {
+			t.Errorf("kind %s empty", kind)
+		}
+		path := c.Files[kind]
+		if path == "" {
+			t.Errorf("kind %s has no file", kind)
+			continue
+		}
+		fi, err := os.Stat(path)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("kind %s file %s: err=%v", kind, path, err)
+		}
+	}
+	if c.Trigger != "manual" || c.Labels["why"] != "test" {
+		t.Fatalf("capture tagging wrong: %+v", c)
+	}
+}
+
+func TestTriggerAsyncCooldown(t *testing.T) {
+	p, clock := newTestProfiler(t, Config{Cooldown: time.Minute})
+	if !p.TriggerAsync("alert:x", nil) {
+		t.Fatal("first trigger refused")
+	}
+	p.Close() // wait for the capture so inflight is clear
+	if p.TriggerAsync("alert:x", nil) {
+		t.Fatal("trigger inside cooldown accepted")
+	}
+	clock.advance(2 * time.Minute)
+	if !p.TriggerAsync("alert:x", nil) {
+		t.Fatal("trigger after cooldown refused")
+	}
+	p.Close()
+	if got := len(p.List()); got != 2 {
+		t.Fatalf("captures = %d, want 2", got)
+	}
+}
+
+func TestRingEvictionDeletesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := newTestProfiler(t, Config{Dir: dir, MaxCaptures: 2})
+	first := p.Capture("manual", nil)
+	p.Capture("manual", nil)
+	p.Capture("manual", nil) // evicts first
+	list := p.List()
+	if len(list) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(list))
+	}
+	for _, c := range list {
+		if c.ID == first.ID {
+			t.Fatal("evicted capture still listed")
+		}
+	}
+	for _, path := range first.Files {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("evicted file %s still on disk (err=%v)", path, err)
+		}
+	}
+	// Survivors keep their files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2*len(Kinds) {
+		t.Fatalf("dir holds %d files, want %d", len(entries), 2*len(Kinds))
+	}
+}
+
+func TestHandler(t *testing.T) {
+	p, clock := newTestProfiler(t, Config{})
+	c := p.Capture("manual", nil)
+	h := p.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rr.Code != 200 {
+		t.Fatalf("list = %d", rr.Code)
+	}
+	var body struct {
+		Captures []Capture `json:"captures"`
+		Kinds    []string  `json:"kinds"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(body.Captures) != 1 || body.Captures[0].ID != c.ID || len(body.Kinds) != 3 {
+		t.Fatalf("payload = %+v", body)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profiles/"+c.ID+"/heap", nil))
+	if rr.Code != 200 || rr.Body.Len() == 0 {
+		t.Fatalf("download = %d len=%d", rr.Code, rr.Body.Len())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("download content-type = %q", ct)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profiles/nope/heap", nil))
+	if rr.Code != 404 {
+		t.Fatalf("missing profile = %d, want 404", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profiles/justid", nil))
+	if rr.Code != 400 {
+		t.Fatalf("malformed path = %d, want 400", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("DELETE", "/debug/profiles", nil))
+	if rr.Code != 405 {
+		t.Fatalf("DELETE list = %d, want 405", rr.Code)
+	}
+
+	// On-demand capture endpoint (past the cooldown the manual capture
+	// started).
+	clock.advance(2 * time.Minute)
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/debug/profiles/capture", nil))
+	if rr.Code != 200 {
+		t.Fatalf("POST capture = %d", rr.Code)
+	}
+	p.Close()
+	if got := len(p.List()); got != 2 {
+		t.Fatalf("captures after POST = %d, want 2", got)
+	}
+}
+
+func TestBadDirFailsAtNew(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Dir: filepath.Join(file, "sub"), Registry: obs.NewRegistry()}); err == nil {
+		t.Fatal("dir under a regular file accepted")
+	}
+}

@@ -497,3 +497,87 @@ func TestConcurrentRecordAndFeedback(t *testing.T) {
 		t.Fatalf("feedback total = %d", joined)
 	}
 }
+
+// fakeSink records AlertSink calls for assertions.
+type fakeSink struct {
+	mu    sync.Mutex
+	calls []fakeSinkCall
+}
+
+type fakeSinkCall struct {
+	name     string
+	firing   bool
+	severity string
+	value    float64
+}
+
+func (s *fakeSink) SetAlert(name string, firing bool, severity string, value float64, _ map[string]any) {
+	s.mu.Lock()
+	s.calls = append(s.calls, fakeSinkCall{name, firing, severity, value})
+	s.mu.Unlock()
+}
+
+func (s *fakeSink) last(t *testing.T) fakeSinkCall {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.calls) == 0 {
+		t.Fatal("alert sink never called")
+	}
+	return s.calls[len(s.calls)-1]
+}
+
+// TestDriftAlertSink covers the alert-manager routing: with a sink wired,
+// drift reports level-triggered through it (firing on divergence, cleared
+// on recovery) and the slog warning stays silent.
+func TestDriftAlertSink(t *testing.T) {
+	clk := newFakeClock()
+	var logBuf bytes.Buffer
+	sink := &fakeSink{}
+	ref := metrics.RefDistOf([]float64{4, 4, 4, 4, 8, 8, 8, 8, 15, 15, 15, 15, 25, 25, 25, 25}, nil)
+	m := newTestMonitor(t, clk, func(c *Config) {
+		c.Reference = ref
+		c.ReferenceModel = "m1"
+		c.MinDriftSamples = 10
+		c.DriftThreshold = 0.2
+		c.Logger = slog.New(slog.NewTextHandler(&logBuf, nil))
+		c.Alerts = sink
+	})
+
+	// Divergent errors: the sink sees quality:drift firing.
+	for i := 0; i < 15; i++ {
+		id := m.RecordPrediction(odAt(0, 0), 100, "m1", 1)
+		if _, err := m.Feedback(id, 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call := sink.last(t)
+	if call.name != "quality:drift" || !call.firing || call.severity != "ticket" {
+		t.Fatalf("sink call = %+v, want quality:drift firing ticket", call)
+	}
+	if !(call.value > 0.2) {
+		t.Fatalf("sink PSI = %v, want > threshold", call.value)
+	}
+	if m.driftAlerts.Value() != 1 {
+		t.Fatalf("drift alert counter = %d, want 1", m.driftAlerts.Value())
+	}
+	if strings.Contains(logBuf.String(), "quality drift") {
+		t.Fatalf("drift logged despite sink: %q", logBuf.String())
+	}
+
+	// Next window with in-distribution errors: the condition clears.
+	clk.advance(time.Minute)
+	for _, e := range []float64{4, 4, 4, 4, 8, 8, 8, 8, 15, 15, 15, 15, 25, 25, 25, 25} {
+		id := m.RecordPrediction(odAt(0, 0), 100, "m1", 1)
+		if _, err := m.Feedback(id, 100+e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call = sink.last(t)
+	if call.firing {
+		t.Fatalf("sink still firing after recovery: %+v", call)
+	}
+	if !(call.value < 0.2) {
+		t.Fatalf("recovered PSI = %v, want < threshold", call.value)
+	}
+}

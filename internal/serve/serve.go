@@ -16,6 +16,10 @@
 //	GET  /metrics       Prometheus text exposition of the obs registry
 //	GET  /debug/traces  tail-sampled request traces (when Config.Traces set)
 //	GET  /debug/quality model-quality state (when Config.Quality set)
+//	GET  /debug/slo     SLO status: per-objective SLI, budget, burn rates (when Config.SLO set)
+//	GET  /debug/alerts  firing alerts + transition history (when Config.Alerts set)
+//	GET  /debug/profiles captured profile bundles; /debug/profiles/<id>/<kind>
+//	     downloads raw pprof data (when Config.Profiles set)
 //
 // Every route is wrapped with obs.Middleware (request counters by status
 // class, latency histograms, in-flight gauge, request logging), /estimate
@@ -49,7 +53,9 @@ import (
 	"deepod/internal/geo"
 	"deepod/internal/infer"
 	"deepod/internal/obs"
+	"deepod/internal/prof"
 	"deepod/internal/quality"
+	"deepod/internal/slo"
 	"deepod/internal/traj"
 )
 
@@ -119,6 +125,17 @@ type Config struct {
 	// It only closes the loop on the engine path: the engine's Recorder
 	// stamps responses with the prediction IDs feedback joins against.
 	Quality *quality.Monitor
+	// SLO, when non-nil, serves the evaluator's objective status at GET
+	// /debug/slo. The evaluator's lifecycle (Start/Close) belongs to the
+	// caller; the server only exposes it.
+	SLO *slo.Evaluator
+	// Alerts, when non-nil, serves the alert manager's firing set and
+	// transition history at GET /debug/alerts.
+	Alerts *slo.Manager
+	// Profiles, when non-nil, serves captured profile bundles at GET
+	// /debug/profiles (list), GET /debug/profiles/<id>/<kind> (raw pprof
+	// download) and POST /debug/profiles/capture (on-demand capture).
+	Profiles *prof.Profiler
 }
 
 // Server is the assembled HTTP API.
@@ -164,6 +181,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Quality != nil {
 		// Raw for the same reason as /metrics and /debug/traces.
 		s.mux.Handle("/debug/quality", cfg.Quality.Handler())
+	}
+	if cfg.SLO != nil {
+		s.mux.Handle("/debug/slo", cfg.SLO.Handler())
+	}
+	if cfg.Alerts != nil {
+		s.mux.Handle("/debug/alerts", cfg.Alerts.Handler())
+	}
+	if cfg.Profiles != nil {
+		// The trailing-slash pattern also routes the per-capture download
+		// paths (/debug/profiles/<id>/<kind>) to the profiler.
+		h := cfg.Profiles.Handler()
+		s.mux.Handle("/debug/profiles", h)
+		s.mux.Handle("/debug/profiles/", h)
 	}
 	return s, nil
 }

@@ -23,7 +23,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/...
+go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/...
 go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
 go test -race -run 'Parallel' ./internal/embed/
 
@@ -32,6 +32,9 @@ go test -run 'TestUntracedSpanOverhead' ./internal/obs/
 
 echo "== quality gate (disabled quality-monitor stamp overhead)"
 go test -run 'TestPredictionStampDisabledOverhead' ./internal/infer/
+
+echo "== slo gate (per-request SLO accounting overhead)"
+go test -run 'TestSLORequestAccountingOverhead' ./internal/infer/
 
 echo "== bench smoke (internal/infer + internal/obs spans)"
 go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
