@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench trainbench
+.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench trainbench ingestbench
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ check:
 	./scripts/check.sh
 
 race:
-	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/...
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/...
 	go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
 	go test -race -run 'Parallel' ./internal/embed/
 
@@ -38,3 +38,6 @@ servebench:
 
 trainbench:
 	go run ./cmd/ttebench -trainbench -trainbench-gate 2
+
+ingestbench:
+	go run ./cmd/ttebench -ingestbench -ingestbench-gate-probes 50000 -ingestbench-gate-degrade 0.2

@@ -1,0 +1,394 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepod"
+	"deepod/internal/citysim"
+	"deepod/internal/core"
+	"deepod/internal/infer"
+	"deepod/internal/obs"
+	"deepod/internal/traffic"
+	"deepod/internal/traj"
+)
+
+// ingestBenchOptions configures the live-traffic ingestion benchmark
+// (-ingestbench).
+type ingestBenchOptions struct {
+	City        string
+	Orders      int
+	Vehicles    int
+	PeriodSec   float64
+	SpanSec     float64
+	Duration    time.Duration
+	Workers     int
+	Concurrency int
+	DistinctODs int
+	Seed        int64
+	Out         string
+	// CombinedRate paces the combined-phase firehose to this many probes/s
+	// (0 = unpaced). The write-only phase is always unpaced — it measures
+	// capacity — while the combined phase asks what a *target* ingest rate
+	// costs the read path, which is only comparable when the rate is fixed.
+	CombinedRate float64
+	// GateProbes, when > 0, fails the run unless the write-only phase
+	// sustains at least this many accepted probes/s. GateDegrade, when > 0,
+	// fails the run when the combined phase's read QPS drops more than this
+	// fraction below the read-only baseline. Both are enforced only on
+	// machines with >= 4 CPUs — ingest and serve genuinely contend for
+	// cycles on smaller boxes.
+	GateProbes  float64
+	GateDegrade float64
+}
+
+// ingestBenchPhase is one measured scenario.
+type ingestBenchPhase struct {
+	Name        string  `json:"name"`
+	DurationSec float64 `json:"duration_sec"`
+	// Write-side numbers (write_only and combined phases).
+	ProbesAccepted uint64  `json:"probes_accepted,omitempty"`
+	ProbesShed     uint64  `json:"probes_shed,omitempty"`
+	ProbesPerSec   float64 `json:"probes_per_sec,omitempty"`
+	// Read-side numbers (read_only and combined phases).
+	Requests int     `json:"requests,omitempty"`
+	Errors   int     `json:"errors,omitempty"`
+	QPS      float64 `json:"qps,omitempty"`
+	P50Ms    float64 `json:"p50_ms,omitempty"`
+	P99Ms    float64 `json:"p99_ms,omitempty"`
+}
+
+// ingestBenchReport is the BENCH_ingest.json payload.
+type ingestBenchReport struct {
+	City        string  `json:"city"`
+	Vehicles    int     `json:"vehicles"`
+	ProbePool   int     `json:"probe_pool"`
+	SpanSec     float64 `json:"span_sec"`
+	Workers     int     `json:"ingest_workers"`
+	Concurrency int     `json:"read_concurrency"`
+	DistinctODs int     `json:"distinct_ods"`
+	NumCPU      int     `json:"num_cpu"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+
+	Phases []ingestBenchPhase `json:"phases"`
+
+	// Headline numbers the CI gate reads.
+	WriteProbesPerSec    float64 `json:"write_probes_per_sec"`
+	CombinedProbesPerSec float64 `json:"combined_probes_per_sec"`
+	ReadOnlyQPS          float64 `json:"read_only_qps"`
+	CombinedQPS          float64 `json:"combined_qps"`
+	// ReadDegradation is 1 - combined/read-only QPS: how much serving
+	// throughput the firehose costs.
+	ReadDegradation float64 `json:"read_degradation"`
+
+	// Store state after the run: proof the probes became usable speeds.
+	Store  traffic.StoreStats  `json:"store"`
+	Ingest traffic.IngestStats `json:"ingest"`
+
+	GateProbes   float64 `json:"gate_probes,omitempty"`
+	GateDegrade  float64 `json:"gate_degrade,omitempty"`
+	GateEnforced bool    `json:"gate_enforced"`
+}
+
+// runIngestBench measures the probe firehose: write-only ingest throughput,
+// the uncached read-only estimate baseline, and the combined scenario where
+// ingestion and serving contend — then writes BENCH_ingest.json and
+// optionally enforces the throughput/degradation gates.
+func runIngestBench(o ingestBenchOptions) error {
+	c, err := deepod.BuildCity(o.City, deepod.CityOptions{Orders: o.Orders, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	m, err := core.New(deepod.SmallConfig(), c.Graph)
+	if err != nil {
+		return err
+	}
+	matcher, err := deepod.NewMatcher(c.Graph)
+	if err != nil {
+		return err
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Pre-generate the probe pool once: o.Vehicles simulated vehicles
+	// cruising the city for SpanSec. The replay loop shifts timestamps by
+	// whole spans so every pass stays monotone per vehicle, letting a few
+	// seconds of wall time push an unbounded amount of sim traffic.
+	ps, err := citysim.NewProbeStream(c.Traffic, citysim.ProbeConfig{
+		Vehicles:    o.Vehicles,
+		PeriodSec:   o.PeriodSec,
+		NoiseMeters: 8,
+		Seed:        o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	pool := ps.Window(0, o.SpanSec)
+	if len(pool) == 0 {
+		return fmt.Errorf("ingestbench: probe pool is empty")
+	}
+	const batchSize = 512
+	var batches [][]traffic.Probe
+	for i := 0; i < len(pool); i += batchSize {
+		end := i + batchSize
+		if end > len(pool) {
+			end = len(pool)
+		}
+		b := make([]traffic.Probe, 0, end-i)
+		for _, p := range pool[i:end] {
+			b = append(b, traffic.Probe{Vehicle: p.Vehicle, X: p.Pos.X, Y: p.Pos.Y, T: p.T})
+		}
+		batches = append(batches, b)
+	}
+
+	rep := ingestBenchReport{
+		City: o.City, Vehicles: o.Vehicles, ProbePool: len(pool), SpanSec: o.SpanSec,
+		Workers: o.Workers, Concurrency: o.Concurrency, DistinctODs: o.DistinctODs,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GateProbes: o.GateProbes, GateDegrade: o.GateDegrade,
+	}
+	log.Printf("ingestbench: %s, %d vehicles, %d probes pooled over %.0fs, %d ingest workers, %d read clients, %s per phase",
+		o.City, o.Vehicles, len(pool), o.SpanSec, o.Workers, o.Concurrency, o.Duration)
+
+	// Fresh pipeline per benchmark run; all phases share it so the combined
+	// phase reads genuinely live snapshots.
+	reg := obs.NewRegistry()
+	store, err := traffic.NewStore(c.Graph, traffic.StoreConfig{Registry: reg})
+	if err != nil {
+		return err
+	}
+	ing, err := traffic.NewIngestor(matcher, store, traffic.IngestConfig{Workers: o.Workers, Registry: reg})
+	if err != nil {
+		return err
+	}
+	defer ing.Close()
+	// StaleAfterSec is effectively infinite so every estimate walks the
+	// full merge path — the most expensive read the live channel has.
+	fs, err := traffic.NewFeatureSource(c.Graph, store, c.Grid.External, traffic.FeatureConfig{
+		StaleAfterSec: 1e15,
+		Registry:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	eng, err := infer.New(infer.Config{
+		Match: func(ctx context.Context, od traj.ODInput) (traj.MatchedOD, error) {
+			return deepod.MatchODCtx(ctx, matcher, od)
+		},
+		Snapshot:     infer.ModelSnapshot("ingestbench", m),
+		Workers:      runtime.GOMAXPROCS(0),
+		QueueDepth:   4 * o.Concurrency,
+		QueueTimeout: 5 * time.Second,
+		Traffic:      fs,
+		Registry:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	if o.DistinctODs > len(c.Records) {
+		o.DistinctODs = len(c.Records)
+	}
+	ods := make([]traj.ODInput, o.DistinctODs)
+	for i := range ods {
+		ods[i] = c.Records[i].OD
+	}
+
+	// writeLoop replays the pool until stop flips, shifting each pass by a
+	// whole span so per-vehicle time keeps increasing. A fully shed batch
+	// backs off briefly before retrying — the same discipline the HTTP
+	// firehose asks of emitters via 429 + Retry-After — so the writer
+	// measures pipeline capacity instead of burning its CPU on rejected
+	// sends. Returns accepted and shed counts.
+	writeLoop := func(stop *atomic.Bool, rate float64) (accepted, shed uint64) {
+		buf := make([]traffic.Probe, 0, batchSize)
+		start := time.Now()
+		for pass := 0; !stop.Load(); pass++ {
+			shift := float64(pass) * o.SpanSec
+			for _, b := range batches {
+				if stop.Load() {
+					return accepted, shed
+				}
+				buf = buf[:0]
+				for _, p := range b {
+					p.T += shift
+					buf = append(buf, p)
+				}
+				for {
+					a, s := ing.Ingest(buf)
+					accepted += uint64(a)
+					if a > 0 || s == 0 {
+						shed += uint64(s)
+						break
+					}
+					// Whole batch shed: the queue is full. Retry the same
+					// batch after a beat rather than dropping sim traffic —
+					// re-sending keeps per-vehicle timestamps monotone.
+					if stop.Load() {
+						shed += uint64(s)
+						return accepted, shed
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+				if rate > 0 {
+					// Token-bucket pacing: sleep whenever the accepted
+					// count is ahead of the target rate.
+					ahead := float64(accepted)/rate - time.Since(start).Seconds()
+					if ahead > 0 {
+						time.Sleep(time.Duration(ahead * float64(time.Second)))
+					}
+				}
+			}
+		}
+		return accepted, shed
+	}
+
+	// readLoop runs closed-loop estimate clients for the phase duration.
+	readLoop := func(deadline time.Time) (lats []float64, errs int) {
+		var wg sync.WaitGroup
+		bufs := make([][]float64, o.Concurrency)
+		errc := make([]int, o.Concurrency)
+		ctx := context.Background()
+		for w := 0; w < o.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := make([]float64, 0, 4096)
+				for i := w; time.Now().Before(deadline); i++ {
+					start := time.Now()
+					_, err := eng.Do(ctx, ods[i%len(ods)])
+					buf = append(buf, time.Since(start).Seconds())
+					if err != nil {
+						errc[w]++
+					}
+				}
+				bufs[w] = buf
+			}(w)
+		}
+		wg.Wait()
+		for w := range bufs {
+			lats = append(lats, bufs[w]...)
+			errs += errc[w]
+		}
+		sort.Float64s(lats)
+		return lats, errs
+	}
+
+	readPhase := func(name string, lats []float64, errs int) ingestBenchPhase {
+		return ingestBenchPhase{
+			Name:        name,
+			DurationSec: o.Duration.Seconds(),
+			Requests:    len(lats),
+			Errors:      errs,
+			QPS:         float64(len(lats)) / o.Duration.Seconds(),
+			P50Ms:       percentile(lats, 0.50) * 1000,
+			P99Ms:       percentile(lats, 0.99) * 1000,
+		}
+	}
+
+	// Phase 1: write-only firehose.
+	var stop atomic.Bool
+	timer := time.AfterFunc(o.Duration, func() { stop.Store(true) })
+	accepted, shed := writeLoop(&stop, 0)
+	timer.Stop()
+	ing.Drain()
+	write := ingestBenchPhase{
+		Name:           "write_only",
+		DurationSec:    o.Duration.Seconds(),
+		ProbesAccepted: accepted,
+		ProbesShed:     shed,
+		ProbesPerSec:   float64(accepted) / o.Duration.Seconds(),
+	}
+	rep.Phases = append(rep.Phases, write)
+	rep.WriteProbesPerSec = write.ProbesPerSec
+	log.Printf("  write_only  %9.0f probes/s  (%d accepted, %d shed)", write.ProbesPerSec, accepted, shed)
+
+	// Phase 2: read-only baseline against the warm store.
+	lats, errs := readLoop(time.Now().Add(o.Duration))
+	read := readPhase("read_only", lats, errs)
+	rep.Phases = append(rep.Phases, read)
+	rep.ReadOnlyQPS = read.QPS
+	log.Printf("  read_only   %9.0f est/s     (p50 %.2fms, p99 %.2fms, %d errors)", read.QPS, read.P50Ms, read.P99Ms, errs)
+
+	// Phase 3: combined — the firehose and the estimate traffic contend.
+	stop.Store(false)
+	var cAccepted, cShed uint64
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		cAccepted, cShed = writeLoop(&stop, o.CombinedRate)
+	}()
+	lats, errs = readLoop(time.Now().Add(o.Duration))
+	stop.Store(true)
+	wwg.Wait()
+	ing.Drain()
+	combined := readPhase("combined", lats, errs)
+	combined.ProbesAccepted = cAccepted
+	combined.ProbesShed = cShed
+	combined.ProbesPerSec = float64(cAccepted) / o.Duration.Seconds()
+	rep.Phases = append(rep.Phases, combined)
+	rep.CombinedQPS = combined.QPS
+	rep.CombinedProbesPerSec = combined.ProbesPerSec
+	if rep.ReadOnlyQPS > 0 {
+		rep.ReadDegradation = 1 - rep.CombinedQPS/rep.ReadOnlyQPS
+	}
+	log.Printf("  combined    %9.0f est/s + %9.0f probes/s  (read degradation %.1f%%)",
+		combined.QPS, combined.ProbesPerSec, 100*rep.ReadDegradation)
+
+	rep.Store = store.Stats()
+	rep.Ingest = ing.Stats()
+	if rep.Store.Covered == 0 {
+		return fmt.Errorf("ingestbench: store covered no edges — the pipeline dropped everything")
+	}
+
+	if o.GateProbes > 0 || o.GateDegrade > 0 {
+		if rep.NumCPU < 4 {
+			log.Printf("ingestbench: gates skipped — %d CPU(s) cannot host ingest and serve side by side", rep.NumCPU)
+		} else {
+			rep.GateEnforced = true
+		}
+	}
+
+	if err := writeIngestBenchReport(o.Out, &rep); err != nil {
+		return err
+	}
+	log.Printf("ingestbench: %d edges covered (%.1f%%), epoch %d; report written to %s",
+		rep.Store.Covered, 100*rep.Store.Coverage, rep.Store.Epoch, o.Out)
+
+	if rep.GateEnforced {
+		if o.GateProbes > 0 && rep.WriteProbesPerSec < o.GateProbes {
+			return fmt.Errorf("ingestbench: throughput gate failed: %.0f probes/s sustained, want >= %.0f",
+				rep.WriteProbesPerSec, o.GateProbes)
+		}
+		if o.GateDegrade > 0 && rep.ReadDegradation > o.GateDegrade {
+			return fmt.Errorf("ingestbench: degradation gate failed: combined reads lost %.1f%% QPS, allowed %.1f%%",
+				100*rep.ReadDegradation, 100*o.GateDegrade)
+		}
+	}
+	return nil
+}
+
+func writeIngestBenchReport(path string, rep *ingestBenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -21,6 +21,15 @@
 // report to -servebench-out (default BENCH_serve.json).
 // -servebench-profile-dir keeps the alert-triggered profile bundles.
 //
+// With -ingestbench, ttebench measures the live-traffic pipeline: a
+// citysim-generated GPS probe firehose is replayed through incremental map
+// matching into the edge-speed store, alone (write-only), against an
+// uncached estimate workload baseline (read-only), and with both contending
+// (combined). It reports sustained probes/s, estimate QPS and the read-QPS
+// degradation the firehose costs, and writes the report to -ingestbench-out
+// (default BENCH_ingest.json). -ingestbench-gate-probes and
+// -ingestbench-gate-degrade enforce CI floors on machines with >= 4 CPUs.
+//
 // With -trainbench, ttebench measures offline-training throughput
 // (steps/sec, samples/sec, ns and allocs per sample) at several
 // -train-workers counts on one TinyScale city and writes the report to
@@ -55,6 +64,22 @@ func main() {
 		sbOut         = flag.String("servebench-out", "BENCH_serve.json", "JSON report path")
 		sbProfileDir  = flag.String("servebench-profile-dir", "", "write profiles captured during the alert-spike scenario here (empty = in-memory only)")
 
+		ingestbench   = flag.Bool("ingestbench", false, "run the live-traffic ingestion benchmark instead of the paper experiments")
+		ibCity        = flag.String("ingestbench-city", "chengdu-s", "city preset for -ingestbench")
+		ibOrders      = flag.Int("ingestbench-orders", 400, "orders synthesized for the benchmark city (estimate workload)")
+		ibVehicles    = flag.Int("ingestbench-vehicles", 300, "simulated probe vehicles")
+		ibPeriod      = flag.Float64("ingestbench-period-sec", 5, "probe report period per vehicle, sim seconds")
+		ibSpan        = flag.Float64("ingestbench-span-sec", 300, "sim seconds of probe traffic pre-generated and replayed in a loop")
+		ibDuration    = flag.Duration("ingestbench-duration", 3*time.Second, "measurement window per phase")
+		ibWorkers     = flag.Int("ingestbench-workers", 0, "ingest map-matching workers (0 = GOMAXPROCS)")
+		ibConc        = flag.Int("ingestbench-conc", 16, "concurrent closed-loop estimate clients")
+		ibODs         = flag.Int("ingestbench-ods", 200, "distinct OD pairs cycled by the read workload")
+		ibRate        = flag.Float64("ingestbench-rate", 50000, "combined-phase firehose pacing, probes/s (0 = unpaced)")
+		ibSeed        = flag.Int64("ingestbench-seed", 1, "workload random seed")
+		ibOut         = flag.String("ingestbench-out", "BENCH_ingest.json", "JSON report path")
+		ibGateProbes  = flag.Float64("ingestbench-gate-probes", 0, "fail below this sustained write-only probes/s (0 disables; skipped on <4-CPU machines)")
+		ibGateDegrade = flag.Float64("ingestbench-gate-degrade", 0, "fail when combined read QPS degrades more than this fraction vs read-only (0 disables; skipped on <4-CPU machines)")
+
 		trainbench = flag.Bool("trainbench", false, "run the training throughput benchmark instead of the paper experiments")
 		tbCity     = flag.String("trainbench-city", "chengdu-s", "city preset for -trainbench")
 		tbOrders   = flag.Int("trainbench-orders", 300, "orders synthesized for the benchmark city")
@@ -81,6 +106,29 @@ func main() {
 			Seed:    *tbSeed,
 			Out:     *tbOut,
 			Gate:    *tbGate,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *ingestbench {
+		err := runIngestBench(ingestBenchOptions{
+			City:         *ibCity,
+			Orders:       *ibOrders,
+			Vehicles:     *ibVehicles,
+			PeriodSec:    *ibPeriod,
+			SpanSec:      *ibSpan,
+			Duration:     *ibDuration,
+			Workers:      *ibWorkers,
+			Concurrency:  *ibConc,
+			DistinctODs:  *ibODs,
+			CombinedRate: *ibRate,
+			Seed:         *ibSeed,
+			Out:          *ibOut,
+			GateProbes:   *ibGateProbes,
+			GateDegrade:  *ibGateDegrade,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -20,6 +20,16 @@
 //	GET  /debug/slo    → SLO status: per-objective SLI, error budget, burn rates
 //	GET  /debug/alerts → firing alerts and transition history
 //	GET  /debug/profiles → alert-triggered profile bundles (list + pprof download)
+//	POST /probes       → NDJSON GPS probe firehose feeding the live traffic store (with -traffic)
+//	GET  /debug/traffic → live traffic pipeline state: probes, coverage, epoch (with -traffic)
+//
+// With -traffic, GPS probes posted to /probes stream through incremental
+// map matching into a sharded per-edge speed store; the engine then reads
+// the live speed field (merged over the training-time prior) at estimate
+// time, falling back to the prior whenever the store is cold or the
+// requested departure is far from the probe high-water mark
+// (-traffic-stale-sec). The -traffic-* flags tune workers, windowing,
+// decay, coverage and staleness.
 //
 // With -slo (default on) the SLO engine evaluates burn-rate alert rules
 // over the built-in objectives (availability, latency, shed rate of
@@ -56,12 +66,14 @@ import (
 	"deepod"
 	"deepod/internal/core"
 	"deepod/internal/infer"
+	"deepod/internal/mapmatch"
 	"deepod/internal/obs"
 	"deepod/internal/prof"
 	"deepod/internal/quality"
 	"deepod/internal/roadnet"
 	"deepod/internal/serve"
 	"deepod/internal/slo"
+	"deepod/internal/traffic"
 	"deepod/internal/traj"
 )
 
@@ -113,6 +125,17 @@ func main() {
 		cacheEntries = flag.Int("cache", 8192, "estimate cache capacity in entries (0 = disabled)")
 		cacheTTL     = flag.Duration("cache-ttl", 5*time.Minute, "estimate cache entry lifetime")
 		cacheCell    = flag.Float64("cache-cell", 250, "spatial quantization cell for cache keys, meters")
+
+		trafficOn      = flag.Bool("traffic", false, "live traffic: POST /probes GPS firehose → incremental map matching → edge-speed store feeding serving-time features (engine path only)")
+		trafficWorkers = flag.Int("traffic-workers", 1, "probe map-matching workers (vehicles are hash-partitioned across them)")
+		trafficWindowS = flag.Float64("traffic-window-sec", 60, "edge-speed aggregation window, sim seconds")
+		trafficWindows = flag.Int("traffic-windows", 5, "speed windows retained per edge (ring)")
+		trafficDecay   = flag.Float64("traffic-decay", 0.7, "age-decay multiplier applied per window of staleness")
+		trafficStaleS  = flag.Float64("traffic-stale-sec", 600, "live speeds further than this from the requested departure fall back to the training-time prior")
+		trafficMinCov  = flag.Float64("traffic-min-coverage", 0.02, "edge-coverage fraction below which estimates keep using the prior")
+		trafficCell    = flag.Float64("traffic-cell", 250, "live feature grid cell, meters (must match the model's speed grid)")
+		trafficTTLS    = flag.Float64("traffic-session-ttl-sec", 300, "idle vehicle-session eviction TTL, sim seconds")
+		trafficMaxBody = flag.Int64("traffic-max-body", serve.DefaultProbeMaxBodyBytes, "maximum /probes body bytes")
 
 		traceCap     = flag.Int("trace-capacity", 512, "retained trace ring-buffer size")
 		traceSlowest = flag.Int("trace-slowest", 16, "always retain the slowest N traces per window")
@@ -280,6 +303,9 @@ func main() {
 		if *qualityOn {
 			logger.Info("quality monitoring needs the engine path for prediction stamping; disabled under -direct")
 		}
+		if *trafficOn {
+			logger.Info("live traffic needs the engine path to bind serving-time features; disabled under -direct")
+		}
 		scfg.Match = match
 		scfg.Estimate = snap.Estimate
 	} else {
@@ -304,7 +330,47 @@ func main() {
 				logger.Info("quality: no reference error distribution in the model; drift detection off until a reload provides one")
 			}
 		}
-		eng, err := infer.New(infer.Config{
+		// Live traffic pipeline: probes posted to /probes flow through
+		// incremental map matching into the edge-speed store; the engine
+		// reads the merged live/prior speed field at estimate time.
+		var liveTraffic *traffic.FeatureSource
+		if *trafficOn {
+			store, err := traffic.NewStore(c.Graph, traffic.StoreConfig{
+				WindowSec: *trafficWindowS,
+				Windows:   *trafficWindows,
+				Decay:     *trafficDecay,
+			})
+			if err != nil {
+				fatal("building traffic store", err)
+			}
+			ing, err := traffic.NewIngestor(matcher, store, traffic.IngestConfig{
+				Workers: *trafficWorkers,
+				Tracker: mapmatch.TrackerConfig{SessionTTLSec: *trafficTTLS},
+			})
+			if err != nil {
+				fatal("building traffic ingestor", err)
+			}
+			defer ing.Close()
+			liveTraffic, err = traffic.NewFeatureSource(c.Graph, store, c.Grid.External, traffic.FeatureConfig{
+				CellMeters:    *trafficCell,
+				MinCoverage:   *trafficMinCov,
+				StaleAfterSec: *trafficStaleS,
+			})
+			if err != nil {
+				fatal("building traffic feature source", err)
+			}
+			scfg.Probes = ing
+			scfg.TrafficStatus = ing.Status
+			scfg.ProbeMaxBodyBytes = *trafficMaxBody
+			logger.Info("live traffic ingestion on",
+				"workers", *trafficWorkers,
+				"window_sec", *trafficWindowS,
+				"windows", *trafficWindows,
+				"stale_sec", *trafficStaleS,
+				"min_coverage", *trafficMinCov,
+			)
+		}
+		engCfg := infer.Config{
 			Match:        match,
 			Snapshot:     snap,
 			Workers:      *workers,
@@ -316,7 +382,13 @@ func main() {
 			Cells:        cells,
 			Slotter:      snap.Slotter,
 			Recorder:     recorderOrNil(mon),
-		})
+		}
+		if liveTraffic != nil {
+			// Assigned conditionally so a nil *FeatureSource never becomes
+			// a non-nil TrafficSource interface.
+			engCfg.Traffic = liveTraffic
+		}
+		eng, err := infer.New(engCfg)
 		if err != nil {
 			fatal("building engine", err)
 		}

@@ -244,37 +244,11 @@ func (gen *Generator) trace(tr traj.Trajectory) traj.Raw {
 			Y: p.Y + gen.rng.NormFloat64()*gen.cfg.GPSNoiseMeters,
 		}
 	}
-	posAt := func(t float64) geo.Point {
-		for i, s := range tr.Path {
-			if t <= s.Exit || i == len(tr.Path)-1 {
-				from, to := 0.0, 1.0
-				if i == 0 {
-					from = tr.RStart
-				}
-				if i == len(tr.Path)-1 {
-					to = 1 - tr.REnd
-				}
-				span := s.Exit - s.Enter
-				f := 1.0
-				if span > 0 {
-					f = (t - s.Enter) / span
-				}
-				if f < 0 {
-					f = 0
-				} else if f > 1 {
-					f = 1
-				}
-				return g.PointAlongEdge(s.Edge, from+(to-from)*f)
-			}
-		}
-		last := tr.Path[len(tr.Path)-1]
-		return g.PointAlongEdge(last.Edge, 1-tr.REnd)
-	}
 	start, end := tr.DepartureTime(), tr.Path[len(tr.Path)-1].Exit
 	for t := start; t < end; t += gen.cfg.GPSPeriodSec {
-		pts = append(pts, traj.GPSPoint{Pos: noise(posAt(t)), T: t})
+		pts = append(pts, traj.GPSPoint{Pos: noise(tr.PosAt(g, t)), T: t})
 	}
-	pts = append(pts, traj.GPSPoint{Pos: noise(posAt(end)), T: end})
+	pts = append(pts, traj.GPSPoint{Pos: noise(tr.PosAt(g, end)), T: end})
 	return traj.Raw{Points: pts}
 }
 

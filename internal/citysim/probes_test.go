@@ -1,0 +1,109 @@
+package citysim
+
+import (
+	"math"
+	"testing"
+
+	"deepod/internal/roadnet"
+)
+
+func probeFixture(t *testing.T) *Traffic {
+	t.Helper()
+	g, err := roadnet.GenerateCity(roadnet.SmallCity("probes", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraffic(g, 2*86400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestProbeStreamWindow(t *testing.T) {
+	tr := probeFixture(t)
+	ps, err := NewProbeStream(tr, ProbeConfig{Vehicles: 10, PeriodSec: 5, NoiseMeters: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := ps.Window(1000, 1300)
+	if len(probes) == 0 {
+		t.Fatal("empty window")
+	}
+	// Roughly vehicles × window/period reports; allow slack for trip churn.
+	want := 10 * 300 / 5
+	if len(probes) < want/2 || len(probes) > want*2 {
+		t.Fatalf("window yielded %d probes, expected around %d", len(probes), want)
+	}
+	seen := map[string]int{}
+	for i, p := range probes {
+		if p.T < 1000 || p.T >= 1300 {
+			t.Fatalf("probe at %v outside window", p.T)
+		}
+		if i > 0 && p.T < probes[i-1].T {
+			t.Fatal("window not sorted by time")
+		}
+		b := tr.Graph().Bounds()
+		if p.Pos.X < b.Min.X-100 || p.Pos.X > b.Max.X+100 {
+			t.Fatalf("probe far off the map: %+v", p.Pos)
+		}
+		seen[p.Vehicle]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("%d vehicles reported, want all 10", len(seen))
+	}
+}
+
+func TestProbeStreamContinuity(t *testing.T) {
+	tr := probeFixture(t)
+	ps, err := NewProbeStream(tr, ProbeConfig{Vehicles: 4, PeriodSec: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := ps.Window(0, 100)
+	w2 := ps.Window(100, 200)
+	if len(w1) == 0 || len(w2) == 0 {
+		t.Fatal("empty windows")
+	}
+	// Per vehicle, timestamps must keep increasing across the boundary and
+	// positions must not teleport (continuous cruising).
+	lastT := map[string]float64{}
+	lastPos := map[string]struct{ x, y float64 }{}
+	for _, w := range [][]VehicleProbe{w1, w2} {
+		for _, p := range w {
+			if prev, ok := lastT[p.Vehicle]; ok {
+				if p.T <= prev {
+					t.Fatalf("vehicle %s time went %v -> %v", p.Vehicle, prev, p.T)
+				}
+				lp := lastPos[p.Vehicle]
+				d := math.Hypot(p.Pos.X-lp.x, p.Pos.Y-lp.y)
+				// 30 m/s hard ceiling plus noise slack.
+				if d > 30*(p.T-prev)+100 {
+					t.Fatalf("vehicle %s jumped %.0f m in %.0f s", p.Vehicle, d, p.T-prev)
+				}
+			}
+			lastT[p.Vehicle] = p.T
+			lastPos[p.Vehicle] = struct{ x, y float64 }{p.Pos.X, p.Pos.Y}
+		}
+	}
+}
+
+func TestProbeStreamDeterministic(t *testing.T) {
+	tr := probeFixture(t)
+	mk := func() []VehicleProbe {
+		ps, err := NewProbeStream(tr, ProbeConfig{Vehicles: 3, PeriodSec: 5, NoiseMeters: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps.Window(500, 700)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d differs across identical seeds", i)
+		}
+	}
+}

@@ -14,11 +14,15 @@ import (
 // quantized onto the model's time slots. Two requests that land in the same
 // cells and slot are close enough (within one grid cell and one Δt) that
 // DeepOD's OD encoder sees near-identical inputs, so the cached estimate is
-// a faithful answer for both.
+// a faithful answer for both. epoch is the traffic epoch the estimate was
+// computed under (always 0 without a traffic source): when live conditions
+// shift enough to bump the epoch, every earlier entry silently misses, so
+// hot cells never serve pre-shift ETAs.
 type cacheKey struct {
 	originCell int
 	destCell   int
 	slot       int
+	epoch      uint64
 }
 
 // hash mixes the key fields with an FNV-1a-style fold; used only to pick a
@@ -29,7 +33,7 @@ func (k cacheKey) hash() uint64 {
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, v := range [3]int{k.originCell, k.destCell, k.slot} {
+	for _, v := range [4]int{k.originCell, k.destCell, k.slot, int(k.epoch)} {
 		u := uint64(v)
 		for i := 0; i < 8; i++ {
 			h ^= u & 0xff

@@ -83,6 +83,19 @@ type PredictionRecorder interface {
 	RecordPrediction(od traj.ODInput, seconds float64, snapshotID string, generation uint64) string
 }
 
+// TrafficSource feeds live traffic state into estimation. External returns
+// the external-feature bundle (traffic-condition matrix + weather) the
+// model should see for a departure time — live edge speeds merged over the
+// training-time prior, or the prior alone when the live view is cold or
+// stale. Epoch identifies the current traffic regime: it becomes part of
+// every cache key, so cached estimates stop being served the moment
+// conditions shift. Implemented by traffic.FeatureSource; must be safe for
+// concurrent use.
+type TrafficSource interface {
+	Epoch() uint64
+	External(departSec float64) *traj.ExternalFeatures
+}
+
 // Config assembles an Engine.
 type Config struct {
 	// Match snaps an OD input onto road segments. Required. It is called
@@ -122,6 +135,13 @@ type Config struct {
 	Cells Quantizer
 	// Slotter quantizes departure times for cache keys.
 	Slotter *timeslot.Slotter
+
+	// Traffic, when non-nil, overrides each request's external features
+	// with the live traffic view at estimate time and keys the cache by the
+	// traffic epoch. Nil leaves the request's own features untouched; the
+	// only cost left on the serve path is one nil check per stage (see
+	// TestTrafficDisabledOverhead).
+	Traffic TrafficSource
 
 	// Recorder, when non-nil, stamps every served estimate (cache hits
 	// included — a cached answer is still a served prediction) with an ID
@@ -386,6 +406,12 @@ func (e *Engine) Version() map[string]any {
 		"cache_entries":   e.cfg.CacheEntries,
 		"cache_ttl":       e.cfg.CacheTTL.String(),
 	}
+	if e.cfg.Traffic != nil {
+		v["traffic"] = "live"
+		v["traffic_epoch"] = e.cfg.Traffic.Epoch()
+	} else {
+		v["traffic"] = "disabled"
+	}
 	for k, val := range inst.snap.Meta {
 		v[k] = val
 	}
@@ -437,7 +463,18 @@ func (e *Engine) keyOf(od traj.ODInput) cacheKey {
 		originCell: e.cfg.Cells.CellIndex(od.Origin),
 		destCell:   e.cfg.Cells.CellIndex(od.Dest),
 		slot:       e.cfg.Slotter.Slot(od.DepartSec),
+		epoch:      e.trafficEpoch(),
 	}
+}
+
+// trafficEpoch is the cache key's traffic component: 0 without a traffic
+// source (keys identical to the pre-traffic engine), otherwise the source's
+// current epoch.
+func (e *Engine) trafficEpoch() uint64 {
+	if e.cfg.Traffic == nil {
+		return 0
+	}
+	return e.cfg.Traffic.Epoch()
 }
 
 // Do serves one estimate: cache lookup, admission, then a worker batch
@@ -584,6 +621,12 @@ func (e *Engine) worker() {
 				continue
 			}
 			mspan.End()
+			if e.cfg.Traffic != nil {
+				// The live view is authoritative at estimate time; it falls
+				// back to the training-time prior internally when cold or
+				// stale, so matched never loses its features entirely.
+				matched.External = e.cfg.Traffic.External(j.od.DepartSec)
+			}
 			ectx, espan := e.reg.StartSpan(bctx, "infer.model")
 			sec := inst.snap.Estimate(ectx, &matched)
 			espan.End()

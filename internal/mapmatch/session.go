@@ -1,0 +1,427 @@
+package mapmatch
+
+// Streaming (sessionized) map matching. The batch matcher (Match) runs full
+// Viterbi over a complete trace and pays a Dijkstra per candidate transition
+// — fine for offline training data, impossible for a live GPS probe
+// firehose. A Session instead decodes one point at a time over a bounded
+// candidate frontier with hop-limited local route search: probes arrive
+// every few seconds, so consecutive points are on the same or a nearby
+// segment and a full shortest-path search buys nothing. Each accepted point
+// emits per-segment speed observations (SegObs) — the per-link aggregation
+// feeding the traffic store.
+//
+// A Tracker owns the sessions of many vehicles (keyed by vehicle ID) with
+// TTL and capacity eviction. Neither Session nor Tracker is safe for
+// concurrent use: the ingest layer routes each vehicle to a fixed worker by
+// hash, so all state stays goroutine-confined and lock-free.
+
+import (
+	"errors"
+	"math"
+
+	"deepod/internal/geo"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+// Sentinel errors for probe points a session drops without corrupting its
+// state. Callers count them; the session remains usable.
+var (
+	// ErrOutOfOrder means the point's timestamp precedes the session's last
+	// accepted point.
+	ErrOutOfOrder = errors.New("mapmatch: probe timestamp out of order")
+	// ErrDuplicate means the point carries the same timestamp as the last
+	// accepted point (retransmitted or duplicated upstream).
+	ErrDuplicate = errors.New("mapmatch: duplicate probe timestamp")
+)
+
+// SegObs is one per-segment observation emitted by a session: the vehicle
+// covered Meters on Edge during [EnterSec, ExitSec]. Meters may be zero
+// (a vehicle stopped in traffic is a real 0 m/s observation).
+type SegObs struct {
+	Edge     roadnet.EdgeID
+	EnterSec float64
+	ExitSec  float64
+	Meters   float64
+}
+
+// SpeedMPS returns the observation's mean speed, 0 for degenerate spans.
+func (o SegObs) SpeedMPS() float64 {
+	if dt := o.ExitSec - o.EnterSec; dt > 0 {
+		return o.Meters / dt
+	}
+	return 0
+}
+
+// SessionConfig tunes the incremental decoder. The zero value takes every
+// default from the owning Matcher's Config.
+type SessionConfig struct {
+	// MaxCandidates bounds the decoder frontier per point (default 4; the
+	// batch matcher's 6 buys little on streaming data and costs k² route
+	// searches per probe).
+	MaxCandidates int
+	// MaxHops bounds the local route search between consecutive points
+	// (default 4 edges). Probes further apart than MaxHops segments
+	// re-anchor the session instead of searching the whole network.
+	MaxHops int
+	// MaxSpeedMPS discards transitions implying impossible speeds
+	// (default 50 m/s ≈ 180 km/h): GPS glitches must not poison the
+	// per-edge speed statistics.
+	MaxSpeedMPS float64
+	// MaxExpansions caps route-search work per transition (default 64).
+	MaxExpansions int
+}
+
+func (c *SessionConfig) fill() {
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 4
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 4
+	}
+	if c.MaxSpeedMPS <= 0 {
+		c.MaxSpeedMPS = 50
+	}
+	if c.MaxExpansions <= 0 {
+		c.MaxExpansions = 64
+	}
+}
+
+// SessionScratch holds the reusable buffers shared by every session of one
+// goroutine (one Tracker). Confined to that goroutine.
+type SessionScratch struct {
+	near   *roadnet.NearestScratch
+	search localSearch
+}
+
+// NewSessionScratch builds scratch buffers for sessions of this matcher.
+func (m *Matcher) NewSessionScratch() *SessionScratch {
+	return &SessionScratch{near: m.idx.NewScratch()}
+}
+
+// streamState is one frontier entry: a candidate segment position with its
+// cumulative log-probability and the frontier index it chained from.
+type streamState struct {
+	cand roadnet.Candidate
+	logp float64
+	prev int // index into the previous frontier; -1 = re-anchored
+}
+
+// Session is the incremental matcher state of one vehicle.
+type Session struct {
+	m       *Matcher
+	cfg     SessionConfig
+	scr     *SessionScratch
+	front   []streamState
+	spare   []streamState
+	obsBuf  []SegObs
+	lastT   float64
+	lastPos geo.Point
+	started bool
+}
+
+// NewSession builds a standalone session with its own scratch buffers. Use
+// NewTracker when managing many vehicles: its sessions share one scratch.
+func (m *Matcher) NewSession(cfg SessionConfig) *Session {
+	return m.newSession(cfg, m.NewSessionScratch())
+}
+
+func (m *Matcher) newSession(cfg SessionConfig, scr *SessionScratch) *Session {
+	cfg.fill()
+	return &Session{m: m, cfg: cfg, scr: scr}
+}
+
+// LastSec returns the timestamp of the last accepted point (0 before any).
+func (s *Session) LastSec() float64 { return s.lastT }
+
+// Advance feeds the next GPS point of this vehicle and returns the
+// per-segment observations implied by the movement since the previous
+// point. The returned slice aliases session buffers and is valid only until
+// the next Advance. The first point anchors the session and emits nothing;
+// points failing validation return ErrOutOfOrder / ErrDuplicate and are
+// dropped without touching decoder state.
+func (s *Session) Advance(pt traj.GPSPoint) ([]SegObs, error) {
+	if s.started {
+		if pt.T < s.lastT {
+			return nil, ErrOutOfOrder
+		}
+		if pt.T == s.lastT {
+			return nil, ErrDuplicate
+		}
+	}
+	cands := s.m.idx.NearestInto(pt.Pos, s.cfg.MaxCandidates, s.scr.near)
+	if len(cands) == 0 {
+		// Off-grid point (shouldn't happen inside padded bounds): re-anchor
+		// on the next point.
+		s.started = false
+		return nil, nil
+	}
+	if !s.started {
+		s.anchor(pt, cands)
+		return nil, nil
+	}
+
+	dt := pt.T - s.lastT
+	straight := geo.Dist(s.lastPos, pt.Pos)
+	sigma2 := 2 * s.m.cfg.SigmaMeters * s.m.cfg.SigmaMeters
+
+	next := s.spare[:0]
+	anyLinked := false
+	for _, c := range cands {
+		emit := -c.Dist * c.Dist / sigma2
+		best := math.Inf(-1)
+		bestPrev := -1
+		for pj := range s.front {
+			ps := &s.front[pj]
+			meters, ok := s.routeLen(ps.cand, c)
+			if !ok || meters/dt > s.cfg.MaxSpeedMPS {
+				continue
+			}
+			trans := -math.Abs(meters-straight) / s.m.cfg.BetaMeters
+			if score := ps.logp + trans + emit; score > best {
+				best, bestPrev = score, pj
+			}
+		}
+		if bestPrev == -1 {
+			// Unreachable from the whole frontier within MaxHops: keep the
+			// candidate alive with a heavy penalty so one glitchy point
+			// doesn't kill the session, but emit nothing through it.
+			best = s.maxLogp() + emit - 50
+		} else {
+			anyLinked = true
+		}
+		next = append(next, streamState{cand: c, logp: best, prev: bestPrev})
+	}
+
+	// Decode: emit the winning candidate's transition before the frontier
+	// swap invalidates its back pointer.
+	obs := s.obsBuf[:0]
+	wi := 0
+	for i := range next {
+		if next[i].logp > next[wi].logp {
+			wi = i
+		}
+	}
+	if w := &next[wi]; anyLinked && w.prev >= 0 {
+		obs = s.emit(obs, s.front[w.prev].cand, w.cand, s.lastT, pt.T)
+	}
+
+	// Renormalize so log-probabilities never drift toward -inf, then swap
+	// the double buffer.
+	maxL := next[0].logp
+	for i := range next {
+		if next[i].logp > maxL {
+			maxL = next[i].logp
+		}
+	}
+	for i := range next {
+		next[i].logp -= maxL
+		next[i].prev = -1 // consumed; next step links against this frontier
+	}
+	s.spare, s.front = s.front, next
+	s.lastT, s.lastPos, s.obsBuf = pt.T, pt.Pos, obs
+	if !anyLinked {
+		// Every candidate teleported: the vehicle jumped (tunnel, outage).
+		// The penalized frontier re-anchors matching at the new position.
+		s.started = true
+	}
+	return obs, nil
+}
+
+// anchor initializes the frontier from the first (or re-anchoring) point.
+func (s *Session) anchor(pt traj.GPSPoint, cands []roadnet.Candidate) {
+	sigma2 := 2 * s.m.cfg.SigmaMeters * s.m.cfg.SigmaMeters
+	s.front = s.front[:0]
+	for _, c := range cands {
+		s.front = append(s.front, streamState{cand: c, logp: -c.Dist * c.Dist / sigma2, prev: -1})
+	}
+	s.lastT, s.lastPos, s.started = pt.T, pt.Pos, true
+}
+
+func (s *Session) maxLogp() float64 {
+	best := math.Inf(-1)
+	for i := range s.front {
+		if s.front[i].logp > best {
+			best = s.front[i].logp
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// emit appends the per-segment observations of the transition a→b over
+// [t0, t1]: a's partial remainder, the intermediate segments of the local
+// route, and b's partial prefix, with the time span split proportionally to
+// the meters covered on each segment.
+func (s *Session) emit(obs []SegObs, a, b roadnet.Candidate, t0, t1 float64) []SegObs {
+	g := s.m.g
+	type share struct {
+		edge   roadnet.EdgeID
+		meters float64
+	}
+	var shares [2 + maxSessionHops]share
+	n := 0
+	total := 0.0
+	push := func(e roadnet.EdgeID, m float64) {
+		if n == len(shares) {
+			return
+		}
+		shares[n] = share{e, m}
+		n++
+		total += m
+	}
+	if a.Edge == b.Edge && b.Frac >= a.Frac {
+		push(a.Edge, (b.Frac-a.Frac)*g.Edges[a.Edge].Length)
+	} else {
+		route, ok := s.scr.search.route(g, a, b, s.cfg.MaxHops, s.cfg.MaxExpansions)
+		if !ok {
+			return obs
+		}
+		push(a.Edge, (1-a.Frac)*g.Edges[a.Edge].Length)
+		for _, e := range route {
+			push(e, g.Edges[e].Length)
+		}
+		push(b.Edge, b.Frac*g.Edges[b.Edge].Length)
+	}
+	dt := t1 - t0
+	if total <= 0 {
+		// Stationary across an edge boundary artifact: attribute the whole
+		// interval to the destination segment as a 0 m/s observation.
+		return append(obs, SegObs{Edge: b.Edge, EnterSec: t0, ExitSec: t1})
+	}
+	now := t0
+	for i := 0; i < n; i++ {
+		span := dt * shares[i].meters / total
+		obs = append(obs, SegObs{Edge: shares[i].edge, EnterSec: now, ExitSec: now + span, Meters: shares[i].meters})
+		now += span
+	}
+	return obs
+}
+
+// routeLen returns the on-network meters from candidate a to candidate b
+// within the session's hop bound, or ok=false when unreachable.
+func (s *Session) routeLen(a, b roadnet.Candidate) (float64, bool) {
+	g := s.m.g
+	ea := &g.Edges[a.Edge]
+	if a.Edge == b.Edge && b.Frac >= a.Frac {
+		return (b.Frac - a.Frac) * ea.Length, true
+	}
+	eb := &g.Edges[b.Edge]
+	base := (1-a.Frac)*ea.Length + b.Frac*eb.Length
+	if ea.To == eb.From {
+		return base, true
+	}
+	mid, ok := s.scr.search.length(g, ea.To, eb.From, s.cfg.MaxHops, s.cfg.MaxExpansions)
+	if !ok {
+		return 0, false
+	}
+	return base + mid, true
+}
+
+// maxSessionHops bounds the emit share buffer; MaxHops beyond it would only
+// drop intermediate segments from emission, never break matching.
+const maxSessionHops = 8
+
+// localSearch is a hop-limited Dijkstra-lite over out-edges with a flat
+// expansion list instead of a heap: expansion counts are tiny (≤ tens) and
+// linear scans beat allocation. Reused across calls; zero-alloc after warmup.
+type localSearch struct {
+	nodes []expNode
+	out   []roadnet.EdgeID
+}
+
+type expNode struct {
+	v      roadnet.VertexID
+	dist   float64
+	parent int32
+	via    roadnet.EdgeID
+	depth  int8
+	done   bool
+}
+
+// length returns the shortest on-network meters from vertex `from` to
+// vertex `to` within maxHops edges.
+func (ls *localSearch) length(g *roadnet.Graph, from, to roadnet.VertexID, maxHops, maxExp int) (float64, bool) {
+	i, ok := ls.run(g, from, to, maxHops, maxExp)
+	if !ok {
+		return 0, false
+	}
+	return ls.nodes[i].dist, true
+}
+
+// route returns the intermediate edge sequence from candidate a's head to
+// candidate b's tail (excluding both endpoint edges). The slice aliases the
+// scratch and is valid until the next search.
+func (ls *localSearch) route(g *roadnet.Graph, a, b roadnet.Candidate, maxHops, maxExp int) ([]roadnet.EdgeID, bool) {
+	i, ok := ls.run(g, g.Edges[a.Edge].To, g.Edges[b.Edge].From, maxHops, maxExp)
+	if !ok {
+		return nil, false
+	}
+	ls.out = ls.out[:0]
+	for j := int32(i); j > 0; j = ls.nodes[j].parent {
+		ls.out = append(ls.out, ls.nodes[j].via)
+	}
+	// Reverse in place: collected tail-first.
+	for l, r := 0, len(ls.out)-1; l < r; l, r = l+1, r-1 {
+		ls.out[l], ls.out[r] = ls.out[r], ls.out[l]
+	}
+	return ls.out, true
+}
+
+// run expands from `from` until `to` is settled or bounds are hit, returning
+// the index of the settled target node.
+func (ls *localSearch) run(g *roadnet.Graph, from, to roadnet.VertexID, maxHops, maxExp int) (int, bool) {
+	if from == to {
+		// Zero-length connection (candidate heads meet); no intermediates.
+		ls.nodes = append(ls.nodes[:0], expNode{v: from})
+		return 0, true
+	}
+	ls.nodes = append(ls.nodes[:0], expNode{v: from, parent: -1})
+	for {
+		// Pick the unsettled node with the smallest distance (linear scan —
+		// the list stays tiny under the expansion cap).
+		best := -1
+		for i := range ls.nodes {
+			if !ls.nodes[i].done && (best == -1 || ls.nodes[i].dist < ls.nodes[best].dist) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return 0, false
+		}
+		n := &ls.nodes[best]
+		n.done = true
+		if n.v == to {
+			return best, true
+		}
+		if int(n.depth) >= maxHops || len(ls.nodes) >= maxExp {
+			continue
+		}
+		for _, e := range g.Out(n.v) {
+			edge := &g.Edges[e]
+			nd := n.dist + edge.Length
+			// Dedup by target vertex: keep only the cheaper occurrence.
+			seen := false
+			for i := range ls.nodes {
+				if ls.nodes[i].v == edge.To {
+					seen = true
+					if !ls.nodes[i].done && nd < ls.nodes[i].dist {
+						ls.nodes[i].dist = nd
+						ls.nodes[i].parent = int32(best)
+						ls.nodes[i].via = e
+						ls.nodes[i].depth = n.depth + 1
+					}
+					break
+				}
+			}
+			if !seen && len(ls.nodes) < maxExp {
+				ls.nodes = append(ls.nodes, expNode{
+					v: edge.To, dist: nd, parent: int32(best), via: e, depth: n.depth + 1,
+				})
+				n = &ls.nodes[best] // append may have moved the backing array
+			}
+		}
+	}
+}

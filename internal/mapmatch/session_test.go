@@ -1,0 +1,291 @@
+package mapmatch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepod/internal/geo"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+func TestSessionTracksDrivenRoute(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	p, err := roadnet.ShortestPath(g, 0, roadnet.VertexID(g.NumVertices()-1), 0, roadnet.FreeFlowCost(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := driveRoute(g, p.Edges, 5, rng)
+
+	s := m.NewSession(SessionConfig{})
+	driven := map[roadnet.EdgeID]bool{}
+	for _, e := range p.Edges {
+		driven[e] = true
+	}
+	var totalMeters, onRoute float64
+	for _, pt := range raw.Points {
+		obs, err := s.Advance(pt)
+		if err != nil {
+			t.Fatalf("advance at t=%v: %v", pt.T, err)
+		}
+		for _, o := range obs {
+			if o.ExitSec < o.EnterSec {
+				t.Fatalf("observation time-reversed: %+v", o)
+			}
+			if sp := o.SpeedMPS(); sp > 50 {
+				t.Fatalf("implausible speed %v m/s in %+v", sp, o)
+			}
+			totalMeters += o.Meters
+			if driven[o.Edge] {
+				onRoute += o.Meters
+			}
+		}
+	}
+	var want float64
+	for _, e := range p.Edges {
+		want += g.Edges[e].Length
+	}
+	if totalMeters < 0.6*want || totalMeters > 1.4*want {
+		t.Fatalf("emitted %.0f m for a %.0f m route", totalMeters, want)
+	}
+	if frac := onRoute / totalMeters; frac < 0.7 {
+		t.Fatalf("only %.0f%% of emitted meters lie on the driven route", frac*100)
+	}
+}
+
+func TestSessionSpeedsMatchDriving(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	p, err := roadnet.ShortestPath(g, 1, roadnet.VertexID(g.NumVertices()-2), 0, roadnet.FreeFlowCost(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := driveRoute(g, p.Edges, 3, rng) // drives at a constant 10 m/s
+
+	s := m.NewSession(SessionConfig{})
+	var meters, secs float64
+	for _, pt := range raw.Points {
+		obs, err := s.Advance(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range obs {
+			meters += o.Meters
+			secs += o.ExitSec - o.EnterSec
+		}
+	}
+	if secs == 0 {
+		t.Fatal("no observations emitted")
+	}
+	if mean := meters / secs; math.Abs(mean-10) > 3 {
+		t.Fatalf("mean observed speed %.1f m/s, drove at 10 m/s", mean)
+	}
+}
+
+func TestSessionRejectsOutOfOrderAndDuplicates(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := roadnet.EdgeID(3)
+	at := func(f float64) geo.Point { return g.PointAlongEdge(e, f) }
+
+	s := m.NewSession(SessionConfig{})
+	if _, err := s.Advance(traj.GPSPoint{Pos: at(0.1), T: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Advance(traj.GPSPoint{Pos: at(0.3), T: 105}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Advance(traj.GPSPoint{Pos: at(0.2), T: 101}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order point: got %v, want ErrOutOfOrder", err)
+	}
+	if _, err := s.Advance(traj.GPSPoint{Pos: at(0.3), T: 105}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate point: got %v, want ErrDuplicate", err)
+	}
+	// The session must survive the bad points and keep matching.
+	obs, err := s.Advance(traj.GPSPoint{Pos: at(0.5), T: 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) == 0 {
+		t.Fatal("no observations after recovering from bad points")
+	}
+	if s.LastSec() != 110 {
+		t.Fatalf("LastSec = %v, want 110", s.LastSec())
+	}
+}
+
+func TestSessionSameEdgeObservation(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := roadnet.EdgeID(10)
+	s := m.NewSession(SessionConfig{})
+	if _, err := s.Advance(traj.GPSPoint{Pos: g.PointAlongEdge(e, 0.2), T: 0}); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := s.Advance(traj.GPSPoint{Pos: g.PointAlongEdge(e, 0.8), T: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("same-edge movement emitted %d observations, want 1: %+v", len(obs), obs)
+	}
+	o := obs[0]
+	want := 0.6 * g.Edges[e].Length
+	// The matched edge may be the twin of e; only the magnitude matters.
+	if math.Abs(o.Meters-want) > 0.2*want+2 {
+		t.Fatalf("observed %.1f m, drove %.1f m", o.Meters, want)
+	}
+	if o.EnterSec != 0 || o.ExitSec != 10 {
+		t.Fatalf("observation span [%v, %v], want [0, 10]", o.EnterSec, o.ExitSec)
+	}
+}
+
+func TestSessionStationaryVehicle(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.PointAlongEdge(7, 0.5)
+	s := m.NewSession(SessionConfig{})
+	if _, err := s.Advance(traj.GPSPoint{Pos: p, T: 0}); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := s.Advance(traj.GPSPoint{Pos: p, T: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stopped vehicle is a real congestion signal: 0 m/s, full interval.
+	var meters, secs float64
+	for _, o := range obs {
+		meters += o.Meters
+		secs += o.ExitSec - o.EnterSec
+	}
+	if secs < 29.9 {
+		t.Fatalf("stationary interval covers %.1f s, want 30", secs)
+	}
+	if meters > 1 {
+		t.Fatalf("stationary vehicle moved %.1f m", meters)
+	}
+}
+
+func TestTrackerTTLEviction(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.NewTracker(TrackerConfig{SessionTTLSec: 60})
+	p := g.PointAlongEdge(0, 0.5)
+	if _, err := tr.Advance("veh-a", traj.GPSPoint{Pos: p, T: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Advance("veh-b", traj.GPSPoint{Pos: p, T: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Sessions() != 2 {
+		t.Fatalf("sessions = %d, want 2", tr.Sessions())
+	}
+	if n := tr.Sweep(100); n != 1 {
+		t.Fatalf("sweep at t=100 evicted %d sessions, want 1 (veh-a idle 100s)", n)
+	}
+	if tr.Sessions() != 1 || tr.Evicted() != 1 {
+		t.Fatalf("sessions = %d evicted = %d after sweep", tr.Sessions(), tr.Evicted())
+	}
+	// veh-a comes back: a fresh session, first point anchors without error.
+	if _, err := tr.Advance("veh-a", traj.GPSPoint{Pos: p, T: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Sessions() != 2 {
+		t.Fatalf("sessions = %d after re-appearance, want 2", tr.Sessions())
+	}
+}
+
+func TestTrackerCapEviction(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.NewTracker(TrackerConfig{MaxSessions: 3})
+	p := g.PointAlongEdge(0, 0.5)
+	for i := 0; i < 5; i++ {
+		v := fmt.Sprintf("veh-%d", i)
+		if _, err := tr.Advance(v, traj.GPSPoint{Pos: p, T: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Sessions() != 3 {
+		t.Fatalf("sessions = %d, want cap of 3", tr.Sessions())
+	}
+	if tr.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", tr.Evicted())
+	}
+	// The survivors must be the most recent vehicles.
+	for _, v := range []string{"veh-2", "veh-3", "veh-4"} {
+		if _, ok := tr.sessions[v]; !ok {
+			t.Fatalf("recent vehicle %s was evicted", v)
+		}
+	}
+}
+
+func TestTrackerOutOfOrderDoesNotAdvanceClock(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.NewTracker(TrackerConfig{})
+	p := g.PointAlongEdge(0, 0.5)
+	if _, err := tr.Advance("v", traj.GPSPoint{Pos: p, T: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Advance("v", traj.GPSPoint{Pos: p, T: 40}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("got %v, want ErrOutOfOrder", err)
+	}
+	if ts := tr.sessions["v"]; ts.lastSeen != 100 {
+		t.Fatalf("rejected point moved lastSeen to %v", ts.lastSeen)
+	}
+}
+
+func BenchmarkSessionAdvance(b *testing.B) {
+	g := testGraph(b)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	p, err := roadnet.ShortestPath(g, 0, roadnet.VertexID(g.NumVertices()-1), 0, roadnet.FreeFlowCost(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := driveRoute(g, p.Edges, 5, rng)
+	s := m.NewSession(SessionConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := raw.Points[i%len(raw.Points)]
+		pt.T = float64(i) * 3 // keep timestamps monotone across replays
+		if _, err := s.Advance(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -105,6 +105,72 @@ func (idx *EdgeIndex) Nearest(p geo.Point, k int) []Candidate {
 	return cands
 }
 
+// NearestScratch holds the reusable buffers of repeated candidate queries.
+// The streaming map matcher issues one query per GPS probe at firehose
+// rates; the map-based dedup and result slice of Nearest would make the
+// allocator the bottleneck there. A scratch is owned by one goroutine and
+// must not be shared.
+type NearestScratch struct {
+	// stamp[e] == cur marks edge e as already considered in this query;
+	// bumping cur resets the whole array in O(1).
+	stamp []uint32
+	cur   uint32
+	cands []Candidate
+}
+
+// NewScratch returns a scratch sized for this index's graph.
+func (idx *EdgeIndex) NewScratch() *NearestScratch {
+	return &NearestScratch{stamp: make([]uint32, len(idx.g.Edges))}
+}
+
+// NearestInto is Nearest with caller-owned scratch: after the first call it
+// performs no allocations. The returned slice aliases the scratch and is
+// valid only until the next NearestInto call with the same scratch.
+func (idx *EdgeIndex) NearestInto(p geo.Point, k int, s *NearestScratch) []Candidate {
+	if k <= 0 {
+		k = 1
+	}
+	s.cur++
+	if s.cur == 0 { // wrapped: every stamp value is stale, clear explicitly
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 1
+	}
+	s.cands = s.cands[:0]
+	maxRadius := idx.grid.Rows
+	if idx.grid.Cols > maxRadius {
+		maxRadius = idx.grid.Cols
+	}
+	for radius := 1; radius <= maxRadius; radius++ {
+		idx.grid.NeighborCells(p, radius, func(r, c int) {
+			for _, eid := range idx.cells[r*idx.grid.Cols+c] {
+				if s.stamp[eid] == s.cur {
+					continue
+				}
+				s.stamp[eid] = s.cur
+				a, b := idx.g.EdgePoints(eid)
+				proj, t, d := geo.ProjectOnSegment(p, a, b)
+				s.cands = append(s.cands, Candidate{Edge: eid, Frac: t, Dist: d, Proj: proj})
+			}
+		})
+		if len(s.cands) >= k {
+			break
+		}
+	}
+	// Insertion sort: candidate counts are tiny and sort.Slice would allocate
+	// its closure on every probe.
+	for i := 1; i < len(s.cands); i++ {
+		for j := i; j > 0 && s.cands[j].Dist < s.cands[j-1].Dist; j-- {
+			s.cands[j], s.cands[j-1] = s.cands[j-1], s.cands[j]
+		}
+	}
+	if len(s.cands) > k {
+		s.cands = s.cands[:k]
+	}
+	return s.cands
+}
+
 // NearestEdge returns the closest segment to p.
 func (idx *EdgeIndex) NearestEdge(p geo.Point) (Candidate, error) {
 	c := idx.Nearest(p, 1)

@@ -8,6 +8,7 @@
 // Routes:
 //
 //	POST /estimate      JSON OD input → travel time estimate
+//	POST /probes        NDJSON GPS probe firehose → live traffic state (when Config.Probes set)
 //	POST /feedback      ground-truth travel time for a served prediction
 //	GET  /healthz       liveness + model summary
 //	GET  /readyz        readiness: 503 until a snapshot serves (k8s-style)
@@ -20,6 +21,8 @@
 //	GET  /debug/alerts  firing alerts + transition history (when Config.Alerts set)
 //	GET  /debug/profiles captured profile bundles; /debug/profiles/<id>/<kind>
 //	     downloads raw pprof data (when Config.Profiles set)
+//	GET  /debug/traffic live traffic-store state: probes, coverage, epoch
+//	     (when Config.TrafficStatus set)
 //
 // Every route is wrapped with obs.Middleware (request counters by status
 // class, latency histograms, in-flight gauge, request logging), /estimate
@@ -43,6 +46,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -56,6 +60,7 @@ import (
 	"deepod/internal/prof"
 	"deepod/internal/quality"
 	"deepod/internal/slo"
+	"deepod/internal/traffic"
 	"deepod/internal/traj"
 )
 
@@ -136,7 +141,31 @@ type Config struct {
 	// /debug/profiles (list), GET /debug/profiles/<id>/<kind> (raw pprof
 	// download) and POST /debug/profiles/capture (on-demand capture).
 	Profiles *prof.Profiler
+	// Probes, when non-nil, accepts the GPS probe firehose at POST /probes
+	// (NDJSON, one probe per line). Implemented by traffic.Ingestor. A nil
+	// sink leaves the route answering 501 — ingestion disabled.
+	Probes ProbeSink
+	// ProbeMaxBodyBytes caps /probes bodies (default
+	// DefaultProbeMaxBodyBytes; firehose bodies are much larger than OD
+	// requests).
+	ProbeMaxBodyBytes int64
+	// TrafficStatus, when non-nil, reports the live traffic pipeline's
+	// state: it is served raw at GET /debug/traffic and merged into the
+	// /readyz payload under "traffic" — warm-up visibility that never flips
+	// readiness (a replica without probes still serves from the prior).
+	TrafficStatus func() map[string]any
 }
+
+// ProbeSink ingests a parsed probe batch, returning how many probes were
+// accepted vs shed by the bounded ingest queue. Must be safe for concurrent
+// use. Implemented by traffic.Ingestor.
+type ProbeSink interface {
+	Ingest(batch []traffic.Probe) (accepted, shed int)
+}
+
+// DefaultProbeMaxBodyBytes caps /probes request bodies (8 MiB ≈ 100k
+// probes per POST).
+const DefaultProbeMaxBodyBytes = 8 << 20
 
 // Server is the assembled HTTP API.
 type Server struct {
@@ -153,6 +182,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.ProbeMaxBodyBytes <= 0 {
+		cfg.ProbeMaxBodyBytes = DefaultProbeMaxBodyBytes
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.Default()
 	}
@@ -168,6 +200,7 @@ func New(cfg Config) (*Server, error) {
 		s.mux.Handle(pattern, mw.Wrap(pattern, h))
 	}
 	route("/estimate", s.handleEstimate)
+	route("/probes", s.handleProbes)
 	route("/feedback", s.handleFeedback)
 	route("/healthz", s.handleHealth)
 	route("/readyz", s.handleReady)
@@ -194,6 +227,11 @@ func New(cfg Config) (*Server, error) {
 		h := cfg.Profiles.Handler()
 		s.mux.Handle("/debug/profiles", h)
 		s.mux.Handle("/debug/profiles/", h)
+	}
+	if cfg.TrafficStatus != nil {
+		// Raw like the other debug routes: inspecting the traffic store
+		// should not show up in request metrics.
+		s.mux.HandleFunc("/debug/traffic", s.handleTrafficDebug)
 	}
 	return s, nil
 }
@@ -323,6 +361,90 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		TravelSeconds: sec,
 		TravelHuman:   humanDuration(sec),
 	})
+}
+
+// ProbesResponse is the POST /probes success body: how many probes the
+// bounded ingest queue accepted vs shed. Shedding is not an error — the
+// firehose is best-effort by design — but a fully shed batch answers 429 so
+// well-behaved emitters back off.
+type ProbesResponse struct {
+	Accepted int `json:"accepted"`
+	Shed     int `json:"shed"`
+}
+
+// handleProbes ingests the GPS probe firehose: an NDJSON body, one
+// traffic.Probe per line. The whole body is parsed before ingestion — a
+// malformed line rejects the batch with 400 rather than half-applying it —
+// then handed to the sink in one call so the per-vehicle routing happens
+// once. 501 until Config.Probes is wired.
+func (s *Server) handleProbes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cfg.Probes == nil {
+		writeError(w, http.StatusNotImplemented, "probe ingestion is not wired on this server")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.ProbeMaxBodyBytes)
+
+	ctx := r.Context()
+	_, decodeSpan := s.reg.StartSpan(ctx, "decode")
+	// NDJSON decodes with a plain json.Decoder loop: newlines between
+	// values are JSON whitespace, so Decode naturally consumes one probe
+	// per iteration without a line splitter.
+	var batch []traffic.Probe
+	dec := json.NewDecoder(r.Body)
+	var err error
+	for {
+		var p traffic.Probe
+		if err = dec.Decode(&p); err != nil {
+			break
+		}
+		batch = append(batch, p)
+	}
+	decodeSpan.End()
+	if !errors.Is(err, io.EOF) {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad probe at line %d: %v", len(batch)+1, err))
+		return
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty probe batch")
+		return
+	}
+
+	_, ingestSpan := s.reg.StartSpan(ctx, "ingest")
+	accepted, shed := s.cfg.Probes.Ingest(batch)
+	ingestSpan.SetBool("shed", shed > 0)
+	ingestSpan.End()
+	if accepted == 0 && shed > 0 {
+		// The queue is saturated; tell the emitter to slow down rather
+		// than silently eating its entire batch.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ProbesResponse{Accepted: accepted, Shed: shed})
+		return
+	}
+	writeJSON(w, http.StatusOK, ProbesResponse{Accepted: accepted, Shed: shed})
+}
+
+// handleTrafficDebug serves the live traffic pipeline's state — probe
+// counters, edge coverage, epoch, high-water sim time — for operators
+// checking whether the real-time channel is warm.
+func (s *Server) handleTrafficDebug(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.TrafficStatus())
 }
 
 // FeedbackRequest is the POST /feedback body: the prediction ID echoed by
@@ -512,6 +634,12 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		for k, v := range detail {
 			body[k] = v
 		}
+	}
+	if s.cfg.TrafficStatus != nil {
+		// Warm-up visibility only: a cold traffic store never flips
+		// readiness, because estimates fall back to the training-time
+		// prior and are still correct answers.
+		body["traffic"] = s.cfg.TrafficStatus()
 	}
 	body["ready"] = ready
 	code := http.StatusOK

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deepod/internal/citysim"
+	"deepod/internal/infer"
+	"deepod/internal/mapmatch"
+	"deepod/internal/obs"
+	"deepod/internal/roadnet"
+	"deepod/internal/traffic"
+	"deepod/internal/traj"
+)
+
+// TestTrafficCongestionShiftEndToEnd drives the full live pipeline through
+// the real HTTP surface: citysim vehicles cruise the city at night and then
+// during the morning rush, their GPS probes stream through POST /probes
+// into incremental map matching and the edge-speed store, and the served
+// estimates must shift with the congestion — through the real-time feature
+// channel alone, with zero model reloads. A stale departure must fall back
+// to the frozen training-time prior.
+func TestTrafficCongestionShiftEndToEnd(t *testing.T) {
+	g, err := roadnet.GenerateCity(roadnet.SmallCity("live-e2e", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := citysim.NewTraffic(g, 2*86400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frozen prior simulates training-time congestion: whatever the
+	// depart time, it answers with the 03:00 (free-flowing) speed field.
+	// Any estimate shift between night and rush must therefore come from
+	// the live channel.
+	gridder, err := citysim.NewSpeedGridder(sim, 250, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := func(float64) *traj.ExternalFeatures { return gridder.External(3 * 3600) }
+
+	reg := obs.NewRegistry()
+	matcher, err := mapmatch.New(g, mapmatch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := traffic.NewStore(g, traffic.StoreConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := traffic.NewIngestor(matcher, store, traffic.IngestConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	fs, err := traffic.NewFeatureSource(g, store, prior, traffic.FeatureConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The model reads the mean positive cell speed from whatever feature
+	// bundle reaches it: slower live speeds → longer estimates. This makes
+	// the estimate a direct probe of which channel (live vs prior) fed the
+	// encoder.
+	snap := &infer.Snapshot{ID: "live-e2e", Estimate: func(_ context.Context, m *traj.MatchedOD) float64 {
+		if m.External == nil || len(m.External.SpeedGrid) == 0 {
+			return -1
+		}
+		var sum float64
+		var n int
+		for _, v := range m.External.SpeedGrid {
+			if v > 0 {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return -1
+		}
+		return 1000 / (sum / float64(n)) // nominal 1 km trip
+	}}
+	eng, err := infer.New(infer.Config{
+		Match: func(_ context.Context, od traj.ODInput) (traj.MatchedOD, error) {
+			return traj.MatchedOD{DepartSec: od.DepartSec}, nil
+		},
+		Snapshot: snap,
+		Traffic:  fs,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	srv, err := New(Config{
+		City:          "live-e2e",
+		Infer:         eng.Do,
+		Probes:        ing,
+		TrafficStatus: ing.Status,
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+
+	ps, err := citysim.NewProbeStream(sim, citysim.ProbeConfig{Vehicles: 60, PeriodSec: 5, NoiseMeters: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postWindow := func(fromSec, toSec float64) {
+		t.Helper()
+		w := ps.Window(fromSec, toSec)
+		if len(w) == 0 {
+			t.Fatalf("probe window [%v,%v) is empty", fromSec, toSec)
+		}
+		var sb strings.Builder
+		enc := json.NewEncoder(&sb)
+		for _, p := range w {
+			if err := enc.Encode(traffic.Probe{Vehicle: p.Vehicle, X: p.Pos.X, Y: p.Pos.Y, T: p.T}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec := postProbes(t, h, sb.String())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("POST /probes = %d, body %s", rec.Code, rec.Body)
+		}
+		var resp ProbesResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Accepted == 0 {
+			t.Fatalf("window [%v,%v): nothing accepted (%+v)", fromSec, toSec, resp)
+		}
+		// Drain synchronously so the store publishes before we estimate —
+		// the test must not race the ingest workers.
+		ing.Drain()
+	}
+	estimate := func(departSec float64) float64 {
+		t.Helper()
+		rec := postEstimate(t, h, `{"origin":{"X":100,"Y":100},"dest":{"X":900,"Y":900},"depart_sec":`+
+			jsonNum(departSec)+`}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("estimate at %v = %d, body %s", departSec, rec.Code, rec.Body)
+		}
+		var resp EstimateResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.TravelSeconds <= 0 {
+			t.Fatalf("estimate at %v answered %v — the model saw no speed field", departSec, resp.TravelSeconds)
+		}
+		return resp.TravelSeconds
+	}
+
+	// Cold store: the estimate must come from the frozen prior.
+	e0 := estimate(8.5 * 3600)
+
+	// Night cruising (03:00, free flowing): the live channel takes over.
+	postWindow(3*3600, 3*3600+300)
+	eNight := estimate(3*3600 + 250)
+
+	// Morning rush (08:30): same vehicles, congested city. The served
+	// estimate must grow — no reload, no new model, just live features.
+	postWindow(8.5*3600, 8.5*3600+300)
+	eRush := estimate(8.5*3600 + 250)
+
+	if eRush <= 1.05*eNight {
+		t.Fatalf("rush estimate %v not >5%% above night estimate %v — congestion shift not flowing through the live channel", eRush, eNight)
+	}
+	if got := eng.Stats().Reloads; got != 0 {
+		t.Fatalf("estimates shifted via %d reloads, want 0 — the live channel must not need one", got)
+	}
+
+	// A departure far from the live high-water mark is stale: fall back to
+	// the frozen prior, i.e. exactly the cold estimate.
+	eStale := estimate(20 * 3600)
+	if math.Abs(eStale-e0) > 1e-9 {
+		t.Fatalf("stale estimate %v != cold prior estimate %v", eStale, e0)
+	}
+
+	// /debug/traffic reports the warm pipeline.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traffic", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traffic = %d", rec.Code)
+	}
+	var status map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status["warm"] != true {
+		t.Fatalf("/debug/traffic reports cold after ingesting two windows: %v", status)
+	}
+	st, ok := status["store"].(map[string]any)
+	if !ok || st["edges_covered"].(float64) <= 0 {
+		t.Fatalf("/debug/traffic store detail = %v", status["store"])
+	}
+
+	// /readyz carries the same detail without gating on it.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz = %d", rec.Code)
+	}
+	var ready map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ready["traffic"]; !ok {
+		t.Fatalf("/readyz missing traffic warm-state detail: %v", ready)
+	}
+
+	t.Logf("cold(prior)=%.1fs night(live)=%.1fs rush(live)=%.1fs stale(prior)=%.1fs", e0, eNight, eRush, eStale)
+}
+
+func jsonNum(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

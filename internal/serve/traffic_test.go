@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"deepod/internal/infer"
+	"deepod/internal/obs"
+	"deepod/internal/traffic"
+	"deepod/internal/traj"
+)
+
+// sinkStub records ingested batches and answers a scripted accepted/shed
+// split.
+type sinkStub struct {
+	mu       sync.Mutex
+	batches  [][]traffic.Probe
+	accepted int
+	shed     int
+	// shedAll, when set, sheds every probe regardless of accepted/shed.
+	shedAll bool
+}
+
+func (s *sinkStub) Ingest(batch []traffic.Probe) (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]traffic.Probe, len(batch))
+	copy(cp, batch)
+	s.batches = append(s.batches, cp)
+	if s.shedAll {
+		return 0, len(batch)
+	}
+	if s.accepted+s.shed == 0 {
+		return len(batch), 0
+	}
+	return s.accepted, s.shed
+}
+
+func newProbeServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		City: "probe-city",
+		Infer: func(context.Context, traj.ODInput) (infer.Result, error) {
+			return infer.Result{Seconds: 1}, nil
+		},
+		Registry: obs.NewRegistry(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postProbes(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/probes", strings.NewReader(body)))
+	return rec
+}
+
+func TestProbesNDJSONHappyPath(t *testing.T) {
+	sink := &sinkStub{}
+	s := newProbeServer(t, func(c *Config) { c.Probes = sink })
+	body := `{"vehicle":"veh-1","x":10,"y":20,"t":100}
+{"vehicle":"veh-2","x":30,"y":40,"t":101}
+{"vehicle":"veh-1","x":12,"y":20,"t":105}
+`
+	rec := postProbes(t, s.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp ProbesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 3 || resp.Shed != 0 {
+		t.Fatalf("resp = %+v, want 3 accepted", resp)
+	}
+	if len(sink.batches) != 1 || len(sink.batches[0]) != 3 {
+		t.Fatalf("sink saw %d batches", len(sink.batches))
+	}
+	p := sink.batches[0][2]
+	if p.Vehicle != "veh-1" || p.X != 12 || p.T != 105 {
+		t.Fatalf("probe decoded wrong: %+v", p)
+	}
+}
+
+func TestProbesBadLineRejectsWholeBatch(t *testing.T) {
+	sink := &sinkStub{}
+	s := newProbeServer(t, func(c *Config) { c.Probes = sink })
+	body := `{"vehicle":"veh-1","x":10,"y":20,"t":100}
+not json at all
+{"vehicle":"veh-2","x":30,"y":40,"t":101}
+`
+	rec := postProbes(t, s.Handler(), body)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "line 2") {
+		t.Fatalf("error does not point at the bad line: %s", rec.Body)
+	}
+	if len(sink.batches) != 0 {
+		t.Fatal("a malformed body must not be partially ingested")
+	}
+}
+
+func TestProbesEmptyBodyRejected(t *testing.T) {
+	s := newProbeServer(t, func(c *Config) { c.Probes = &sinkStub{} })
+	if rec := postProbes(t, s.Handler(), ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty body: status = %d, want 400", rec.Code)
+	}
+}
+
+func TestProbesNotWiredAnswers501(t *testing.T) {
+	s := newProbeServer(t, nil)
+	rec := postProbes(t, s.Handler(), `{"vehicle":"v","x":1,"y":2,"t":3}`)
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", rec.Code)
+	}
+}
+
+func TestProbesMethodNotAllowed(t *testing.T) {
+	s := newProbeServer(t, func(c *Config) { c.Probes = &sinkStub{} })
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/probes", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", rec.Code)
+	}
+}
+
+func TestProbesFullShedAnswers429(t *testing.T) {
+	sink := &sinkStub{shedAll: true}
+	s := newProbeServer(t, func(c *Config) { c.Probes = sink })
+	rec := postProbes(t, s.Handler(), `{"vehicle":"v","x":1,"y":2,"t":3}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+	var resp ProbesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 0 || resp.Shed != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestProbesPartialShedStays200(t *testing.T) {
+	sink := &sinkStub{accepted: 2, shed: 1}
+	s := newProbeServer(t, func(c *Config) { c.Probes = sink })
+	body := `{"vehicle":"a","x":1,"y":2,"t":3}
+{"vehicle":"b","x":1,"y":2,"t":3}
+{"vehicle":"c","x":1,"y":2,"t":3}`
+	rec := postProbes(t, s.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial shed: status = %d, want 200", rec.Code)
+	}
+	var resp ProbesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Shed != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestProbesBodyCap(t *testing.T) {
+	s := newProbeServer(t, func(c *Config) {
+		c.Probes = &sinkStub{}
+		c.ProbeMaxBodyBytes = 64
+	})
+	long := `{"vehicle":"veh-1","x":10,"y":20,"t":100}` + "\n"
+	rec := postProbes(t, s.Handler(), strings.Repeat(long, 10))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+func TestDebugTrafficServesStatus(t *testing.T) {
+	s := newProbeServer(t, func(c *Config) {
+		c.TrafficStatus = func() map[string]any {
+			return map[string]any{"warm": true, "epoch": 3}
+		}
+	})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traffic", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["warm"] != true || body["epoch"] != float64(3) {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestDebugTrafficAbsentWhenUnwired(t *testing.T) {
+	s := newProbeServer(t, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traffic", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 when TrafficStatus is nil", rec.Code)
+	}
+}
+
+// TestReadyzTrafficDetailNeverFlipsReadiness: a cold traffic store shows up
+// in the /readyz payload but must not turn the probe red — estimates fall
+// back to the prior and are still valid.
+func TestReadyzTrafficDetailNeverFlipsReadiness(t *testing.T) {
+	for name, ready := range map[string]bool{"engine ready": true, "engine not ready": false} {
+		s := newProbeServer(t, func(c *Config) {
+			c.Ready = func() (bool, map[string]any) { return ready, map[string]any{"snapshot": "m1"} }
+			c.TrafficStatus = func() map[string]any {
+				return map[string]any{"warm": false, "probes_accepted": 0}
+			}
+		})
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		wantCode := http.StatusOK
+		if !ready {
+			wantCode = http.StatusServiceUnavailable
+		}
+		if rec.Code != wantCode {
+			t.Fatalf("%s: status = %d, want %d — traffic state must not affect readiness", name, rec.Code, wantCode)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		tr, ok := body["traffic"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s: readyz payload missing traffic detail: %v", name, body)
+		}
+		if tr["warm"] != false {
+			t.Fatalf("%s: traffic detail = %v", name, tr)
+		}
+		if body["ready"] != ready {
+			t.Fatalf("%s: ready = %v", name, body["ready"])
+		}
+	}
+}

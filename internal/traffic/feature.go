@@ -1,0 +1,189 @@
+package traffic
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"deepod/internal/geo"
+	"deepod/internal/obs"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+// FeatureConfig tunes how live edge speeds become serving-time model
+// features.
+type FeatureConfig struct {
+	// CellMeters must match the speed-grid cell size the model was trained
+	// with (default 250): the live layer overwrites cells of the same
+	// matrix the OD encoder consumes.
+	CellMeters float64
+	// MinCoverage is the store coverage below which the live layer is
+	// ignored entirely and the prior served as-is (default 0.02): a handful
+	// of probes must not distort city-wide features.
+	MinCoverage float64
+	// StaleAfterSec bounds |departure − newest probe| (default 600): beyond
+	// it the live view says nothing about the requested departure time and
+	// the prior is served as-is. Covers both directions — a store that
+	// stopped receiving probes, and a request for a far-future departure.
+	StaleAfterSec float64
+	// Registry receives tte_traffic_* metrics (default obs.Default()).
+	Registry *obs.Registry
+}
+
+func (c *FeatureConfig) fill() {
+	if c.CellMeters <= 0 {
+		c.CellMeters = 250
+	}
+	if c.MinCoverage <= 0 {
+		c.MinCoverage = 0.02
+	}
+	if c.StaleAfterSec <= 0 {
+		c.StaleAfterSec = 600
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+}
+
+// PriorFunc returns the training-time external features (congestion prior)
+// for a departure time — typically citysim.SpeedGridder.External or a
+// checkpoint-loaded equivalent.
+type PriorFunc func(departSec float64) *traj.ExternalFeatures
+
+// mergedEntry caches one merged matrix, keyed by the identity of its
+// inputs: snapshots are immutable and the prior gridder returns one cached
+// matrix per period, so data-pointer equality is exact. Only the matrix is
+// cached — the wrapper (whose Weather may change between grid periods) is
+// rebuilt per request.
+type mergedEntry struct {
+	snap      *Snapshot
+	priorGrid *float64 // &prior.SpeedGrid[0]
+	grid      []float64
+}
+
+// FeatureSource feeds live traffic into the model's traffic-condition
+// feature: per-cell mean speeds from the store snapshot overwrite the
+// matching cells of the training-time prior matrix, and the result is
+// handed to the OD encoder as the request's ExternalFeatures. When the
+// store is cold or stale relative to the requested departure, the prior is
+// served unchanged — estimates degrade to exactly the pre-traffic behavior,
+// never to garbage.
+type FeatureSource struct {
+	cfg   FeatureConfig
+	store *Store
+	prior PriorFunc
+	grid  *geo.Grid
+	// cellEdges replicates the trainer's SpeedGridder mapping so live cell
+	// means aggregate the same edge sets the prior's cells do.
+	cellEdges [][]roadnet.EdgeID
+
+	cached atomic.Pointer[mergedEntry]
+
+	mLive     *obs.Counter
+	mPrior    *obs.Counter
+	mMerges   *obs.Counter
+	mCoverage *obs.Gauge
+}
+
+// NewFeatureSource builds a source over the graph's cell grid. prior must
+// be non-nil; store may be warming.
+func NewFeatureSource(g *roadnet.Graph, store *Store, prior PriorFunc, cfg FeatureConfig) (*FeatureSource, error) {
+	cfg.fill()
+	if store == nil || prior == nil {
+		return nil, fmt.Errorf("traffic: feature source needs a store and a prior")
+	}
+	grid, err := geo.NewGrid(g.Bounds(), cfg.CellMeters)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: feature grid: %w", err)
+	}
+	fs := &FeatureSource{
+		cfg:       cfg,
+		store:     store,
+		prior:     prior,
+		grid:      grid,
+		cellEdges: make([][]roadnet.EdgeID, grid.NumCells()),
+	}
+	for eid := range g.Edges {
+		a, b := g.EdgePoints(roadnet.EdgeID(eid))
+		steps := int(geo.Dist(a, b)/cfg.CellMeters) + 1
+		seen := map[int]bool{}
+		for s := 0; s <= steps; s++ {
+			ci := grid.CellIndex(geo.Lerp(a, b, float64(s)/float64(steps)))
+			if !seen[ci] {
+				seen[ci] = true
+				fs.cellEdges[ci] = append(fs.cellEdges[ci], roadnet.EdgeID(eid))
+			}
+		}
+	}
+	reg := cfg.Registry
+	reg.Help("tte_traffic_features_total", "External features served, by source (live = merged, prior = fallback).")
+	reg.Help("tte_traffic_merges_total", "Live-over-prior matrix merges computed (cache misses).")
+	reg.Help("tte_traffic_feature_coverage", "Store coverage at the last feature request.")
+	fs.mLive = reg.Counter("tte_traffic_features_total", "source", "live")
+	fs.mPrior = reg.Counter("tte_traffic_features_total", "source", "prior")
+	fs.mMerges = reg.Counter("tte_traffic_merges_total")
+	fs.mCoverage = reg.Gauge("tte_traffic_feature_coverage")
+	return fs, nil
+}
+
+// Epoch returns the store's current traffic epoch for estimate-cache keys
+// (0 while no snapshot is published, matching the no-traffic behavior).
+func (fs *FeatureSource) Epoch() uint64 {
+	if sn := fs.store.Snapshot(); sn != nil {
+		return sn.Epoch
+	}
+	return 0
+}
+
+// External returns the features for a departure: the prior with live cell
+// speeds merged in, or the prior untouched when the store is cold, stale
+// for this departure, or dimensioned differently from the model's grid.
+// Safe for concurrent use by the inference workers.
+func (fs *FeatureSource) External(departSec float64) *traj.ExternalFeatures {
+	p := fs.prior(departSec)
+	sn := fs.store.Snapshot()
+	if sn == nil {
+		fs.mPrior.Inc()
+		return p
+	}
+	fs.mCoverage.Set(sn.Coverage())
+	if sn.Coverage() < fs.cfg.MinCoverage ||
+		staleness(departSec, sn.AsOfSec) > fs.cfg.StaleAfterSec ||
+		p == nil || p.GridRows != fs.grid.Rows || p.GridCols != fs.grid.Cols ||
+		len(p.SpeedGrid) != len(fs.cellEdges) || len(p.SpeedGrid) == 0 {
+		fs.mPrior.Inc()
+		return p
+	}
+	grid := fs.mergedGrid(sn, p)
+	fs.mLive.Inc()
+	return &traj.ExternalFeatures{
+		Weather:   p.Weather,
+		SpeedGrid: grid,
+		GridRows:  p.GridRows,
+		GridCols:  p.GridCols,
+	}
+}
+
+func (fs *FeatureSource) mergedGrid(sn *Snapshot, p *traj.ExternalFeatures) []float64 {
+	if e := fs.cached.Load(); e != nil && e.snap == sn && e.priorGrid == &p.SpeedGrid[0] {
+		return e.grid
+	}
+	grid := make([]float64, len(p.SpeedGrid))
+	copy(grid, p.SpeedGrid)
+	for ci, edges := range fs.cellEdges {
+		var sum float64
+		n := 0
+		for _, e := range edges {
+			if v, ok := sn.Speed(e); ok {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 {
+			grid[ci] = sum / float64(n)
+		}
+	}
+	fs.cached.Store(&mergedEntry{snap: sn, priorGrid: &p.SpeedGrid[0], grid: grid})
+	fs.mMerges.Inc()
+	return grid
+}

@@ -1,0 +1,163 @@
+package traffic
+
+import (
+	"testing"
+
+	"deepod/internal/geo"
+	"deepod/internal/obs"
+	"deepod/internal/roadnet"
+	"deepod/internal/traj"
+)
+
+// testPrior builds a constant prior matrix matching the source's grid dims.
+func testPrior(g *roadnet.Graph, cellMeters, speed float64) (PriorFunc, int) {
+	grid, err := geo.NewGrid(g.Bounds(), cellMeters)
+	if err != nil {
+		panic(err)
+	}
+	n := grid.NumCells()
+	mat := make([]float64, n)
+	for i := range mat {
+		mat[i] = speed
+	}
+	return func(sec float64) *traj.ExternalFeatures {
+		return &traj.ExternalFeatures{
+			Weather:   int(sec) % 3,
+			SpeedGrid: mat,
+			GridRows:  grid.Rows,
+			GridCols:  grid.Cols,
+		}
+	}, n
+}
+
+func featureFixture(t *testing.T, cfg FeatureConfig) (*FeatureSource, *Store, *roadnet.Graph) {
+	t.Helper()
+	g := testGraph(t)
+	s, err := NewStore(g, StoreConfig{WindowSec: 60, Windows: 4, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	prior, _ := testPrior(g, 250, 8)
+	fs, err := NewFeatureSource(g, s, prior, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, s, g
+}
+
+func TestFeatureSourceColdServesPrior(t *testing.T) {
+	fs, _, _ := featureFixture(t, FeatureConfig{})
+	ext := fs.External(100)
+	if ext == nil {
+		t.Fatal("nil features")
+	}
+	for _, v := range ext.SpeedGrid {
+		if v != 8 {
+			t.Fatalf("cold source altered the prior: cell = %v", v)
+		}
+	}
+	if fs.Epoch() != 0 {
+		t.Fatalf("cold epoch = %d, want 0", fs.Epoch())
+	}
+}
+
+func TestFeatureSourceMergesLiveSpeeds(t *testing.T) {
+	fs, s, g := featureFixture(t, FeatureConfig{MinCoverage: 1e-9})
+	// Saturate edge 0 with slow traffic (2 m/s) around sim-time 100.
+	s.Record(0, 120, 60, 100)
+	s.Publish(100)
+	ext := fs.External(100)
+	// The cells crossed by edge 0 must now read below the 8 m/s prior.
+	changed := 0
+	for ci, edges := range fs.cellEdges {
+		touches := false
+		for _, e := range edges {
+			if e == 0 {
+				touches = true
+			}
+		}
+		v := ext.SpeedGrid[ci]
+		if touches && v < 8 {
+			changed++
+		}
+		if !touches && v != 8 {
+			// Cells whose edges have no data keep the prior.
+			for _, e := range edges {
+				if _, has := s.Snapshot().Speed(e); has {
+					touches = true
+				}
+			}
+			if !touches {
+				t.Fatalf("cell %d without live data changed: %v", ci, v)
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no cell picked up the live slowdown")
+	}
+	if fs.Epoch() == 0 {
+		t.Fatal("live epoch still 0")
+	}
+	_ = g
+}
+
+func TestFeatureSourceStaleFallsBack(t *testing.T) {
+	fs, s, _ := featureFixture(t, FeatureConfig{MinCoverage: 1e-9, StaleAfterSec: 120})
+	s.Record(0, 120, 60, 100)
+	s.Publish(100)
+	// Departure 1h after the newest probe: live layer says nothing.
+	ext := fs.External(100 + 3600)
+	for _, v := range ext.SpeedGrid {
+		if v != 8 {
+			t.Fatalf("stale source altered the prior: cell = %v", v)
+		}
+	}
+	// A departure near the data still merges.
+	ext = fs.External(150)
+	live := false
+	for _, v := range ext.SpeedGrid {
+		if v != 8 {
+			live = true
+		}
+	}
+	if !live {
+		t.Fatal("fresh departure did not merge live data")
+	}
+}
+
+func TestFeatureSourceLowCoverageFallsBack(t *testing.T) {
+	fs, s, _ := featureFixture(t, FeatureConfig{MinCoverage: 0.99})
+	s.Record(0, 120, 60, 100)
+	s.Publish(100)
+	ext := fs.External(100)
+	for _, v := range ext.SpeedGrid {
+		if v != 8 {
+			t.Fatalf("sub-coverage source altered the prior: cell = %v", v)
+		}
+	}
+}
+
+func TestFeatureSourceMergeCached(t *testing.T) {
+	fs, s, _ := featureFixture(t, FeatureConfig{MinCoverage: 1e-9, Registry: obs.NewRegistry()})
+	s.Record(0, 120, 60, 100)
+	s.Publish(100)
+	a := fs.External(100)
+	b := fs.External(101)
+	if &a.SpeedGrid[0] != &b.SpeedGrid[0] {
+		t.Fatal("same snapshot + prior produced two merge allocations")
+	}
+	// Weather must still track the request, not the cached matrix.
+	if a.Weather == b.Weather {
+		t.Fatalf("weather frozen by the merge cache: %d vs %d", a.Weather, b.Weather)
+	}
+	// A new snapshot invalidates the cached matrix.
+	s.Record(0, 600, 60, 110)
+	s.Publish(110)
+	c := fs.External(110)
+	if &c.SpeedGrid[0] == &a.SpeedGrid[0] {
+		t.Fatal("stale merged matrix served after a new snapshot")
+	}
+}

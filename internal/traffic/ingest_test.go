@@ -1,0 +1,158 @@
+package traffic
+
+import (
+	"fmt"
+	"testing"
+
+	"deepod/internal/mapmatch"
+	"deepod/internal/obs"
+	"deepod/internal/roadnet"
+)
+
+func testMatcher(t testing.TB, g *roadnet.Graph) *mapmatch.Matcher {
+	t.Helper()
+	m, err := mapmatch.New(g, mapmatch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// probesAlongEdge fabricates a vehicle driving edge e end to end at the
+// given speed, sampled every periodSec.
+func probesAlongEdge(g *roadnet.Graph, vehicle string, e roadnet.EdgeID, speed, startSec, periodSec float64) []Probe {
+	length := g.Edges[e].Length
+	var ps []Probe
+	for d := 0.0; d <= length; d += speed * periodSec {
+		p := g.PointAlongEdge(e, d/length)
+		ps = append(ps, Probe{Vehicle: vehicle, X: p.X, Y: p.Y, T: startSec + d/speed})
+	}
+	return ps
+}
+
+func TestIngestorEndToEnd(t *testing.T) {
+	g := testGraph(t)
+	m := testMatcher(t, g)
+	s, err := NewStore(g, StoreConfig{WindowSec: 120, Windows: 4, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIngestor(m, s, IngestConfig{Workers: 2, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	// A fleet of vehicles crawling distinct edges at 4 m/s.
+	var batch []Probe
+	edges := []roadnet.EdgeID{0, 5, 9, 14}
+	for i, e := range edges {
+		batch = append(batch, probesAlongEdge(g, fmt.Sprintf("veh-%d", i), e, 4, 10, 5)...)
+	}
+	acc, shed := in.Ingest(batch)
+	if shed != 0 || acc != len(batch) {
+		t.Fatalf("accepted %d shed %d of %d", acc, shed, len(batch))
+	}
+	in.Drain()
+
+	sn := s.Snapshot()
+	if sn == nil {
+		t.Fatal("no snapshot after drain")
+	}
+	if sn.Covered == 0 {
+		t.Fatal("no edges covered after ingesting a fleet")
+	}
+	// At least one driven street must read close to the driven speed. The
+	// matcher may settle on an edge's twin, so scan all covered edges.
+	ok := false
+	for e := range sn.SpeedMPS {
+		if v, has := sn.Speed(roadnet.EdgeID(e)); has && v > 2 && v < 8 {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("no covered edge near the driven 4 m/s")
+	}
+	st := in.Stats()
+	if st.Accepted != uint64(len(batch)) {
+		t.Fatalf("stats accepted = %d, want %d", st.Accepted, len(batch))
+	}
+	if st.Sessions == 0 {
+		t.Fatal("no live sessions after ingest")
+	}
+}
+
+func TestIngestorShedsWhenSaturated(t *testing.T) {
+	g := testGraph(t)
+	m := testMatcher(t, g)
+	s, err := NewStore(g, StoreConfig{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIngestor(m, s, IngestConfig{Workers: 1, QueueDepth: 1, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stall the single worker with a flush handshake we never complete…
+	// no: flushes are internal. Instead saturate with many batches while the
+	// worker grinds through the first ones; with depth 1 most must shed.
+	p := g.PointAlongEdge(0, 0.5)
+	var shedTotal int
+	for i := 0; i < 200; i++ {
+		batch := make([]Probe, 50)
+		for j := range batch {
+			batch[j] = Probe{Vehicle: fmt.Sprintf("v%d-%d", i, j), X: p.X, Y: p.Y, T: float64(i)}
+		}
+		_, shed := in.Ingest(batch)
+		shedTotal += shed
+	}
+	in.Drain()
+	in.Close()
+	st := in.Stats()
+	if st.Shed == 0 || shedTotal == 0 {
+		t.Fatal("queue-depth-1 ingestor never shed under a 10k-probe burst")
+	}
+	if st.Accepted+st.Shed != 200*50 {
+		t.Fatalf("accepted %d + shed %d != 10000", st.Accepted, st.Shed)
+	}
+}
+
+func TestIngestorRoutesVehiclesConsistently(t *testing.T) {
+	// The same vehicle must always hash to the same worker, or its session
+	// state would split across trackers.
+	for _, v := range []string{"a", "veh-42", "迷路", ""} {
+		w1 := vehicleHash(v) % 4
+		for i := 0; i < 8; i++ {
+			if w2 := vehicleHash(v) % 4; w2 != w1 {
+				t.Fatalf("vehicle %q routed to %d then %d", v, w1, w2)
+			}
+		}
+	}
+}
+
+func TestIngestorCountsBadTimestamps(t *testing.T) {
+	g := testGraph(t)
+	m := testMatcher(t, g)
+	s, err := NewStore(g, StoreConfig{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIngestor(m, s, IngestConfig{Workers: 1, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	p := g.PointAlongEdge(0, 0.5)
+	in.Ingest([]Probe{
+		{Vehicle: "v", X: p.X, Y: p.Y, T: 100},
+		{Vehicle: "v", X: p.X, Y: p.Y, T: 100}, // duplicate
+		{Vehicle: "v", X: p.X, Y: p.Y, T: 50},  // out of order
+		{Vehicle: "v", X: p.X, Y: p.Y, T: 110},
+	})
+	in.Drain()
+	st := in.Stats()
+	if st.Duplicate != 1 || st.OutOfOrder != 1 {
+		t.Fatalf("duplicate = %d out-of-order = %d, want 1/1", st.Duplicate, st.OutOfOrder)
+	}
+}

@@ -1,0 +1,244 @@
+package traffic
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"deepod/internal/obs"
+	"deepod/internal/roadnet"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	cfg := roadnet.SmallCity("traffic", 8)
+	g, err := roadnet.GenerateCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testStore(t testing.TB, cfg StoreConfig) (*Store, *roadnet.Graph) {
+	t.Helper()
+	g := testGraph(t)
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s, err := NewStore(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestStoreHarmonicMeanSpeed(t *testing.T) {
+	s, _ := testStore(t, StoreConfig{WindowSec: 60, Windows: 3})
+	// Two observations in one window: 100 m in 10 s and 50 m in 15 s —
+	// distance-weighted mean speed 150/25 = 6 m/s.
+	s.Record(0, 100, 10, 30)
+	s.Record(0, 50, 15, 40)
+	s.Publish(40)
+	sn := s.Snapshot()
+	v, ok := sn.Speed(0)
+	if !ok {
+		t.Fatal("edge 0 not covered")
+	}
+	if math.Abs(v-6) > 1e-3 {
+		t.Fatalf("speed = %v, want 6", v)
+	}
+	if sn.Covered != 1 {
+		t.Fatalf("covered = %d, want 1", sn.Covered)
+	}
+	if hw := s.HighWaterSec(); hw != 40 {
+		t.Fatalf("high water = %v, want 40", hw)
+	}
+}
+
+func TestStoreWindowDecay(t *testing.T) {
+	s, _ := testStore(t, StoreConfig{WindowSec: 60, Windows: 4, Decay: 0.5})
+	// Old window: slow (2 m/s). Fresh window: fast (10 m/s). The decayed
+	// aggregate must sit between, closer to fresh.
+	s.Record(0, 120, 60, 30)  // window 0, 2 m/s
+	s.Record(0, 600, 60, 150) // window 2, 10 m/s
+	s.Publish(150)
+	v, ok := s.Snapshot().Speed(0)
+	if !ok {
+		t.Fatal("edge 0 not covered")
+	}
+	// weights: window 2 age 0 → 1.0, window 0 age 2 → 0.25.
+	want := (1.0*600 + 0.25*120) / (1.0*60 + 0.25*60)
+	if math.Abs(v-want) > 1e-3 {
+		t.Fatalf("decayed speed = %v, want %v", v, want)
+	}
+	if v <= 6 || v >= 10 {
+		t.Fatalf("decayed speed %v not between plain mean and fresh speed", v)
+	}
+}
+
+func TestStoreRingEviction(t *testing.T) {
+	s, _ := testStore(t, StoreConfig{WindowSec: 60, Windows: 2})
+	s.Record(0, 100, 10, 30) // window 0
+	s.Publish(30)
+	if _, ok := s.Snapshot().Speed(0); !ok {
+		t.Fatal("fresh observation not visible")
+	}
+	// Two windows later the ring has rotated past window 0 entirely.
+	s.Record(1, 100, 10, 150) // window 2, different edge
+	s.Publish(150)
+	sn := s.Snapshot()
+	if _, ok := sn.Speed(0); ok {
+		t.Fatal("evicted window still visible")
+	}
+	if _, ok := sn.Speed(1); !ok {
+		t.Fatal("fresh edge missing")
+	}
+	// An untouched edge also ages out by publish time alone.
+	s.Publish(500)
+	if s.Snapshot().Covered != 0 {
+		t.Fatalf("covered = %d after everything aged out", s.Snapshot().Covered)
+	}
+}
+
+func TestStoreLateObservationsDropped(t *testing.T) {
+	s, _ := testStore(t, StoreConfig{WindowSec: 60, Windows: 2})
+	s.Record(0, 100, 10, 300) // window 5
+	s.Record(0, 999, 10, 100) // window 1 — older than the ring, dropped
+	if st := s.Stats(); st.Late != 1 || st.Recorded != 1 {
+		t.Fatalf("late = %d recorded = %d, want 1/1", st.Late, st.Recorded)
+	}
+	s.Publish(300)
+	v, _ := s.Snapshot().Speed(0)
+	if math.Abs(v-10) > 1e-3 {
+		t.Fatalf("late observation leaked into aggregate: speed = %v", v)
+	}
+}
+
+func TestStoreZeroSpeedCountsAsCovered(t *testing.T) {
+	s, _ := testStore(t, StoreConfig{WindowSec: 60, Windows: 3})
+	s.Record(0, 0, 30, 30) // stopped vehicle: 0 m in 30 s
+	s.Publish(30)
+	v, ok := s.Snapshot().Speed(0)
+	if !ok {
+		t.Fatal("0 m/s observation should count as coverage")
+	}
+	if v > 0.01 {
+		t.Fatalf("stationary edge speed = %v, want ~0", v)
+	}
+}
+
+func TestStoreEpochSemantics(t *testing.T) {
+	s, _ := testStore(t, StoreConfig{WindowSec: 60, Windows: 3, EpochDelta: 0.05})
+	if got := s.Stats().Epoch; got != 0 {
+		t.Fatalf("initial epoch = %d", got)
+	}
+	s.Record(0, 600, 60, 30) // 10 m/s
+	s.Publish(30)
+	e1 := s.Snapshot().Epoch
+	if e1 == 0 {
+		t.Fatal("first data must bump the epoch")
+	}
+	// Same conditions re-published: no bump.
+	s.Record(0, 600, 60, 35)
+	s.Publish(35)
+	if e := s.Snapshot().Epoch; e != e1 {
+		t.Fatalf("epoch bumped without a shift: %d -> %d", e1, e)
+	}
+	// Halve the speed: well past EpochDelta, must bump.
+	s.Record(0, 300, 180, 90)
+	s.Publish(90)
+	if e := s.Snapshot().Epoch; e <= e1 {
+		t.Fatalf("epoch did not bump on a condition shift: %d", e)
+	}
+}
+
+func TestStoreSnapshotImmutable(t *testing.T) {
+	s, _ := testStore(t, StoreConfig{WindowSec: 60, Windows: 3})
+	s.Record(0, 600, 60, 30)
+	s.Publish(30)
+	sn := s.Snapshot()
+	v1, _ := sn.Speed(0)
+	// New writes and publishes must not mutate the old snapshot.
+	s.Record(0, 60, 60, 40)
+	s.Publish(40)
+	v2, _ := sn.Speed(0)
+	if v1 != v2 {
+		t.Fatalf("published snapshot mutated: %v -> %v", v1, v2)
+	}
+	if fresh, _ := s.Snapshot().Speed(0); fresh == v1 {
+		t.Fatal("new snapshot did not pick up the new observation")
+	}
+}
+
+// TestStoreConcurrentIngestWhileRead hammers Record/Publish/Snapshot from
+// many goroutines; run under -race this is the store's memory-safety proof.
+func TestStoreConcurrentIngestWhileRead(t *testing.T) {
+	s, g := testStore(t, StoreConfig{WindowSec: 10, Windows: 4, PublishEverySec: 1})
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				e := roadnet.EdgeID((w*perWriter + i) % g.NumEdges())
+				at := float64(i) / 10
+				s.Record(e, 50, 5, at)
+				if i%64 == 0 {
+					s.MaybePublish(at)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readErr error
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if sn := s.Snapshot(); sn != nil {
+				cov := 0
+				for e := range sn.SpeedMPS {
+					if sn.SpeedMPS[e] != 0 {
+						cov++
+					}
+				}
+				if cov != sn.Covered {
+					readErr = errMismatch{cov, sn.Covered}
+					return
+				}
+			}
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	s.Publish(perWriter / 10)
+	if s.Snapshot().Covered == 0 {
+		t.Fatal("no coverage after concurrent ingest")
+	}
+	// Writers interleave arbitrary sim times, so some observations land
+	// behind rings other writers already rotated — those are counted late,
+	// never lost silently.
+	if st := s.Stats(); st.Recorded+st.Late != writers*perWriter {
+		t.Fatalf("recorded %d + late %d != %d", st.Recorded, st.Late, writers*perWriter)
+	}
+}
+
+type errMismatch [2]int
+
+func (e errMismatch) Error() string {
+	return "snapshot covered count inconsistent with speeds"
+}

@@ -105,6 +105,38 @@ func (t *Trajectory) TravelTime() float64 {
 // DepartureTime returns the first enter timestamp.
 func (t *Trajectory) DepartureTime() float64 { return t.Path[0].Enter }
 
+// PosAt returns the on-network position at time sec, interpolating linearly
+// within each step's time interval and respecting the partial first/last
+// segments. Times before departure clamp to the origin, times after arrival
+// to the destination. The caller guarantees a non-empty Path (Validate).
+func (t *Trajectory) PosAt(g *roadnet.Graph, sec float64) geo.Point {
+	for i := range t.Path {
+		s := &t.Path[i]
+		if sec <= s.Exit || i == len(t.Path)-1 {
+			from, to := 0.0, 1.0
+			if i == 0 {
+				from = t.RStart
+			}
+			if i == len(t.Path)-1 {
+				to = 1 - t.REnd
+			}
+			span := s.Exit - s.Enter
+			f := 1.0
+			if span > 0 {
+				f = (sec - s.Enter) / span
+			}
+			if f < 0 {
+				f = 0
+			} else if f > 1 {
+				f = 1
+			}
+			return g.PointAlongEdge(s.Edge, from+(to-from)*f)
+		}
+	}
+	last := t.Path[len(t.Path)-1]
+	return g.PointAlongEdge(last.Edge, 1-t.REnd)
+}
+
 // Length returns the travelled distance in meters, accounting for the
 // partial first and last segments via the position ratios.
 func (t *Trajectory) Length(g *roadnet.Graph) float64 {

@@ -23,7 +23,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/...
+go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/...
 go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
 go test -race -run 'Parallel' ./internal/embed/
 
@@ -36,6 +36,9 @@ go test -run 'TestPredictionStampDisabledOverhead' ./internal/infer/
 echo "== slo gate (per-request SLO accounting overhead)"
 go test -run 'TestSLORequestAccountingOverhead' ./internal/infer/
 
+echo "== traffic gate (disabled live-traffic overhead on the serve path)"
+go test -run 'TestTrafficDisabledOverhead' ./internal/infer/
+
 echo "== bench smoke (internal/infer + internal/obs spans)"
 go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
 go test -run '^$' -bench 'BenchmarkSpan|BenchmarkTraceStoreOffer' -benchtime=100ms ./internal/obs/
@@ -43,5 +46,9 @@ go test -run '^$' -bench 'BenchmarkSpan|BenchmarkTraceStoreOffer' -benchtime=100
 echo "== trainbench smoke (data-parallel training throughput; gate CPU-aware)"
 go run ./cmd/ttebench -trainbench -trainbench-orders 200 -trainbench-steps 10 \
     -trainbench-workers 1,2,4 -trainbench-gate 2
+
+echo "== ingestbench smoke (probe firehose throughput + read degradation; gates CPU-aware)"
+go run ./cmd/ttebench -ingestbench -ingestbench-duration 2s -ingestbench-orders 200 \
+    -ingestbench-vehicles 150 -ingestbench-gate-probes 50000 -ingestbench-gate-degrade 0.2
 
 echo "ok"
