@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench trainbench ingestbench
+.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench trainbench ingestbench flightbench replaybench
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ check:
 	./scripts/check.sh
 
 race:
-	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/...
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/... ./internal/recorder/... ./internal/replay/...
 	go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
 	go test -race -run 'Parallel' ./internal/embed/
 
@@ -41,3 +41,9 @@ trainbench:
 
 ingestbench:
 	go run ./cmd/ttebench -ingestbench -ingestbench-gate-probes 50000 -ingestbench-gate-degrade 0.2
+
+flightbench:
+	go test -run 'TestFlightDisabledOverhead' -v ./internal/infer/
+
+replaybench:
+	go run ./cmd/ttereplay -smoke -gate-unexplained 0

@@ -22,6 +22,13 @@
 //	GET  /debug/profiles → alert-triggered profile bundles (list + pprof download)
 //	POST /probes       → NDJSON GPS probe firehose feeding the live traffic store (with -traffic)
 //	GET  /debug/traffic → live traffic pipeline state: probes, coverage, epoch (with -traffic)
+//	GET  /debug/recorder → flight-recorder wide events + segment downloads (with -recorder)
+//
+// With -recorder, every served estimate is offered to the flight recorder:
+// errors and shed requests are always captured, the slowest N per window
+// and a -recorder-sample fraction of the rest ride along, and with
+// -recorder-dir the captures append to rotating JSONL segment files that
+// ttereplay can re-execute offline against a checkpoint.
 //
 // With -traffic, GPS probes posted to /probes stream through incremental
 // map matching into a sharded per-edge speed store; the engine then reads
@@ -70,6 +77,7 @@ import (
 	"deepod/internal/obs"
 	"deepod/internal/prof"
 	"deepod/internal/quality"
+	"deepod/internal/recorder"
 	"deepod/internal/roadnet"
 	"deepod/internal/serve"
 	"deepod/internal/slo"
@@ -149,6 +157,14 @@ func main() {
 		pendingTTL     = flag.Duration("pending-ttl", 10*time.Minute, "how long a stamped prediction waits for feedback before expiring")
 		driftThreshold = flag.Float64("drift-threshold", 0.2, "PSI above which the error distribution counts as drifted")
 
+		recorderOn        = flag.Bool("recorder", false, "flight recorder: capture a wide event per served estimate, GET /debug/recorder (engine path only)")
+		recorderDir       = flag.String("recorder-dir", "", "mirror captured wide events to JSONL segment files in this directory (empty = in-memory only)")
+		recorderSample    = flag.Float64("recorder-sample", 0.01, "probability of capturing a normal (non-error, non-slow) estimate; errors and shed requests are always captured")
+		recorderCap       = flag.Int("recorder-capacity", 4096, "in-memory wide-event ring size, events")
+		recorderSlowest   = flag.Int("recorder-slowest", 16, "always capture the slowest N estimates per capture window")
+		recorderSegEvents = flag.Int("recorder-segment-events", 4096, "rotate the on-disk segment file after this many events")
+		recorderSegments  = flag.Int("recorder-segments", 8, "segment files retained on disk (oldest deleted beyond this)")
+
 		sloOn       = flag.Bool("slo", true, "SLO engine: burn-rate alerting over the built-in objectives, GET /debug/slo and /debug/alerts")
 		sloConfig   = flag.String("slo-config", "", "JSON file with custom SLO objectives and burn rules (empty = built-in defaults)")
 		sloInterval = flag.Duration("slo-interval", 10*time.Second, "SLO evaluation period (a -slo-config interval_sec overrides)")
@@ -196,6 +212,11 @@ func main() {
 		m.SetRefDist(deepod.ErrorRefDist(&modelEstimator{m}, c.Split.Test))
 		snap = infer.ModelSnapshot(fmt.Sprintf("startup-train-seed%d", *seed), m)
 	}
+	// tte_build_info: constant-1 gauge whose labels identify this binary
+	// and the checkpoint it serves — dashboards join it to split any panel
+	// by deploy. The same fields appear in GET /version.
+	obs.RegisterBuildInfo(nil, "model", snap.ID, "city", c.Name)
+
 	matcher, err := deepod.NewMatcher(c.Graph)
 	if err != nil {
 		fatal("building matcher", err)
@@ -370,6 +391,33 @@ func main() {
 				"min_coverage", *trafficMinCov,
 			)
 		}
+		// Flight recorder: one wide event per served estimate, policy-
+		// sampled, mirrored to disk with -recorder-dir so a recorded
+		// session can be replayed offline by ttereplay.
+		var flight *recorder.Recorder
+		if *recorderOn {
+			flight, err = recorder.New(recorder.Config{
+				Capacity:      *recorderCap,
+				SlowestN:      *recorderSlowest,
+				SampleRate:    *recorderSample,
+				Cells:         cells, // same quantizer as the estimate cache
+				Slotter:       snap.Slotter,
+				Dir:           *recorderDir,
+				SegmentEvents: *recorderSegEvents,
+				MaxSegments:   *recorderSegments,
+				Meta:          map[string]string{"city": c.Name, "model": snap.ID},
+			})
+			if err != nil {
+				fatal("building flight recorder", err)
+			}
+			defer flight.Close()
+			scfg.Recorder = flight
+			logger.Info("flight recorder on",
+				"sample", *recorderSample,
+				"capacity", *recorderCap,
+				"dir", *recorderDir,
+			)
+		}
 		engCfg := infer.Config{
 			Match:        match,
 			Snapshot:     snap,
@@ -382,6 +430,11 @@ func main() {
 			Cells:        cells,
 			Slotter:      snap.Slotter,
 			Recorder:     recorderOrNil(mon),
+		}
+		if flight != nil {
+			// Assigned conditionally so a nil *recorder.Recorder never
+			// becomes a non-nil FlightRecorder interface.
+			engCfg.Flight = flight
 		}
 		if liveTraffic != nil {
 			// Assigned conditionally so a nil *FeatureSource never becomes

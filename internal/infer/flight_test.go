@@ -1,0 +1,161 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepod/internal/traj"
+)
+
+// stubFlight appends every wide event it is handed.
+type stubFlight struct {
+	mu     sync.Mutex
+	events []ServeEvent
+}
+
+func (f *stubFlight) RecordServe(_ context.Context, ev ServeEvent) {
+	f.mu.Lock()
+	f.events = append(f.events, ev)
+	f.mu.Unlock()
+}
+
+func (f *stubFlight) all() []ServeEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]ServeEvent(nil), f.events...)
+}
+
+// TestFlightCapturesServePaths: one wide event per Do call, on the worker
+// path, the cache-hit path, and error paths alike, carrying the facts
+// replay needs (estimate, snapshot, generation, cached flag, latency).
+func TestFlightCapturesServePaths(t *testing.T) {
+	fl := &stubFlight{}
+	cfg := testConfig(t, constSnapshot("m1", 42))
+	cfg.Flight = fl
+	e := newTestEngine(t, cfg)
+
+	if _, err := e.Do(context.Background(), od(1, 1, 5, 5, 600)); err != nil {
+		t.Fatal(err)
+	}
+	// Same cells + slot: cache hit, still one event.
+	if _, err := e.Do(context.Background(), od(1.2, 1.2, 5.2, 5.2, 700)); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid input: the error must be captured too.
+	if _, err := e.Do(context.Background(), od(1, 1, 5, 5, -10)); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("err = %v, want ErrInvalidInput", err)
+	}
+
+	evs := fl.all()
+	if len(evs) != 3 {
+		t.Fatalf("captured %d events, want 3", len(evs))
+	}
+	worker, hit, bad := evs[0], evs[1], evs[2]
+	if worker.Seconds != 42 || worker.Cached || worker.SnapshotID != "m1" ||
+		worker.Generation == 0 || worker.Err != nil {
+		t.Fatalf("worker event = %+v", worker)
+	}
+	if worker.Latency <= 0 {
+		t.Fatalf("worker event latency = %v, want > 0", worker.Latency)
+	}
+	if !hit.Cached || hit.Seconds != 42 || hit.SnapshotID != "m1" {
+		t.Fatalf("cache-hit event = %+v", hit)
+	}
+	if !errors.Is(bad.Err, ErrInvalidInput) || bad.Seconds != 0 {
+		t.Fatalf("invalid-input event = %+v", bad)
+	}
+	if bad.OD.DepartSec != -10 {
+		t.Fatalf("invalid-input event OD = %+v, want the raw request", bad.OD)
+	}
+}
+
+// TestFlightCapturesShed: a queue-full shed leaves a wide event carrying
+// ErrOverloaded — errors and shed requests are the events replay analysis
+// needs at 100% capture, so the engine must emit them all.
+func TestFlightCapturesShed(t *testing.T) {
+	fl := &stubFlight{}
+	block := make(chan struct{})
+	blockOnce := sync.OnceFunc(func() { close(block) })
+	t.Cleanup(blockOnce)
+	slow := &Snapshot{ID: "slow", Estimate: func(context.Context, *traj.MatchedOD) float64 {
+		<-block
+		return 1
+	}}
+	cfg := testConfig(t, slow)
+	cfg.Flight = fl
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.MaxBatch = 1
+	cfg.CacheEntries = 0
+	e := newTestEngine(t, cfg)
+
+	// One request occupies the single worker; pile on until some shed.
+	var wg sync.WaitGroup
+	shed := atomic.Int64{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := e.Do(context.Background(), od(1, 1, 5, 5, float64(600+i))); errors.Is(err, ErrOverloaded) {
+				shed.Add(1)
+			}
+		}(i)
+	}
+	for shed.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	blockOnce()
+	wg.Wait()
+
+	var shedEvents int
+	for _, ev := range fl.all() {
+		if errors.Is(ev.Err, ErrOverloaded) {
+			shedEvents++
+		}
+	}
+	if int64(shedEvents) != shed.Load() {
+		t.Fatalf("captured %d shed events, want %d", shedEvents, shed.Load())
+	}
+}
+
+// TestFlightDisabledOverhead gates the cost wide-event capture adds to the
+// serve path when it is turned off: flightCapture with a nil recorder must
+// stay a nanosecond-scale nil check. The bound leaves slack for noisy CI
+// machines; what it catches is an accidental allocation, event build or
+// interface call sneaking onto the disabled path.
+func TestFlightDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate, skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate, skipped under the race detector")
+	}
+	e := newTestEngine(t, testConfig(t, constSnapshot("m1", 42)))
+	in := od(1, 1, 5, 5, 600)
+	start := time.Now()
+	var sink atomic.Int64
+
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				e.flightCapture(context.Background(), in, start, Result{}, serveDetail{}, nil)
+				n++
+			}
+			sink.Store(int64(n))
+		})
+		if d := time.Duration(r.NsPerOp()); d < best {
+			best = d
+		}
+	}
+	const bound = 100 * time.Nanosecond
+	if best > bound {
+		t.Fatalf("disabled flight-recorder overhead = %v per estimate, want <= %v", best, bound)
+	}
+	t.Logf("disabled flight-recorder overhead: %v per estimate", best)
+}

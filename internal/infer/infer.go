@@ -87,13 +87,53 @@ type PredictionRecorder interface {
 // the external-feature bundle (traffic-condition matrix + weather) the
 // model should see for a departure time — live edge speeds merged over the
 // training-time prior, or the prior alone when the live view is cold or
-// stale. Epoch identifies the current traffic regime: it becomes part of
-// every cache key, so cached estimates stop being served the moment
-// conditions shift. Implemented by traffic.FeatureSource; must be safe for
-// concurrent use.
+// stale — plus whether the live view was actually used (false means the
+// prior fallback answered; the flight recorder stamps this on the wide
+// event so replay knows which answers depended on live state). Epoch
+// identifies the current traffic regime: it becomes part of every cache
+// key, so cached estimates stop being served the moment conditions shift.
+// Implemented by traffic.FeatureSource; must be safe for concurrent use.
 type TrafficSource interface {
 	Epoch() uint64
-	External(departSec float64) *traj.ExternalFeatures
+	External(departSec float64) (ext *traj.ExternalFeatures, live bool)
+}
+
+// ServeEvent is the wide-event payload handed to a FlightRecorder after
+// every Do call — one record carrying every input that determined the
+// answer, so a served estimate can be reproduced and re-scored offline.
+type ServeEvent struct {
+	// OD is the request exactly as the engine admitted it.
+	OD traj.ODInput
+	// Seconds is the served estimate (zero when Err is non-nil).
+	Seconds float64
+	// Cached reports whether the answer came from the estimate cache.
+	Cached bool
+	// SnapshotID and Generation identify the model that answered; empty/
+	// current-generation when the request errored before reaching a model.
+	SnapshotID string
+	Generation uint64
+	// TrafficEpoch is the live-traffic regime the answer was computed
+	// under (0 with no traffic source). TrafficLive reports whether the
+	// worker actually merged live speeds into the features — false means
+	// the prior fallback (or a cache hit, whose features were fixed when
+	// the entry was computed).
+	TrafficEpoch uint64
+	TrafficLive  bool
+	// QueueWait is admission-to-pickup time (zero on cache hits and
+	// queue-full sheds; QueueTimeout on timeout sheds).
+	QueueWait time.Duration
+	// Latency is the full Do duration as the caller saw it.
+	Latency time.Duration
+	// Err is the Do error: nil, ErrOverloaded, ErrQueueTimeout,
+	// ErrInvalidInput, ErrClosed, a *MatchError, or a context error.
+	Err error
+}
+
+// FlightRecorder captures wide events for the flight recorder. Implemented
+// by recorder.Recorder; must be safe for concurrent use and must not
+// block — it runs on the serve path after the answer is computed.
+type FlightRecorder interface {
+	RecordServe(ctx context.Context, ev ServeEvent)
 }
 
 // Config assembles an Engine.
@@ -149,6 +189,12 @@ type Config struct {
 	// on the serve path is one nil check (see the overhead gate test).
 	Recorder PredictionRecorder
 
+	// Flight, when non-nil, receives one wide event per Do call — every
+	// input that determined the answer, for offline replay and regression
+	// diffing. Nil disables capture; the only cost left on the serve path
+	// is one nil check (see TestFlightDisabledOverhead).
+	Flight FlightRecorder
+
 	// Registry receives engine metrics (default obs.Default()).
 	Registry *obs.Registry
 	// Now overrides the clock (tests); defaults to time.Now.
@@ -183,6 +229,21 @@ type outcome struct {
 	snapID string
 	predID string
 	err    error
+	// Flight-recorder facts known only worker-side.
+	wait  time.Duration
+	gen   uint64
+	epoch uint64
+	live  bool
+}
+
+// serveDetail carries the per-request facts the flight-recorder wrapper
+// needs beyond the Result: the generation and traffic regime that
+// determined the answer, and where the request spent its time.
+type serveDetail struct {
+	wait  time.Duration
+	gen   uint64
+	epoch uint64
+	live  bool
 }
 
 type job struct {
@@ -483,24 +544,66 @@ func (e *Engine) trafficEpoch() uint64 {
 // context's error if the caller gave up first. When ctx carries a trace,
 // every stage shows up as a span: infer.cache (hit attr), infer.queue
 // (depth, wait, shed reason), and the worker-side infer.batch /
-// infer.match / infer.model tree.
+// infer.match / infer.model tree. With a flight recorder configured,
+// every call — success, shed, or error — leaves one wide event behind.
 func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
+	if e.cfg.Flight == nil {
+		res, _, err := e.do(ctx, od)
+		return res, err
+	}
+	start := e.now()
+	res, d, err := e.do(ctx, od)
+	e.flightCapture(ctx, od, start, res, d, err)
+	return res, err
+}
+
+// flightCapture hands one finished request to the flight recorder. This is
+// the only flight-recorder cost on the serve path; disabled it must stay a
+// nanosecond-scale nil check (enforced by TestFlightDisabledOverhead).
+func (e *Engine) flightCapture(ctx context.Context, od traj.ODInput, start time.Time, res Result, d serveDetail, err error) {
+	if e.cfg.Flight == nil {
+		return
+	}
+	e.cfg.Flight.RecordServe(ctx, ServeEvent{
+		OD:           od,
+		Seconds:      res.Seconds,
+		Cached:       res.Cached,
+		SnapshotID:   res.SnapshotID,
+		Generation:   d.gen,
+		TrafficEpoch: d.epoch,
+		TrafficLive:  d.live,
+		QueueWait:    d.wait,
+		Latency:      e.now().Sub(start),
+		Err:          err,
+	})
+}
+
+// do is Do's pipeline, also reporting the serveDetail the flight recorder
+// captures. The detail stores are plain scalar writes and cost nothing
+// measurable even with the recorder off.
+func (e *Engine) do(ctx context.Context, od traj.ODInput) (Result, serveDetail, error) {
+	var d serveDetail
 	if err := validate(od); err != nil {
-		return Result{}, err
+		return Result{}, d, err
 	}
 	// The shed-rate SLO's denominator: tte_infer_shed_total / this ratio is
 	// the fraction of valid requests admission control turned away.
 	e.requests.Inc()
 	inst := e.cur.Load()
+	d.gen = inst.gen
 	if e.cache != nil {
+		key := e.keyOf(od)
+		d.epoch = key.epoch
 		_, cspan := e.reg.StartSpan(ctx, "infer.cache")
-		sec, ok := e.cache.get(e.keyOf(od), inst.gen, e.now())
+		sec, ok := e.cache.get(key, inst.gen, e.now())
 		cspan.SetBool("hit", ok)
 		cspan.End()
 		if ok {
 			return Result{Seconds: sec, Cached: true, SnapshotID: inst.snap.ID,
-				PredictionID: e.stamp(od, sec, inst)}, nil
+				PredictionID: e.stamp(od, sec, inst)}, d, nil
 		}
+	} else {
+		d.epoch = e.trafficEpoch()
 	}
 
 	_, qspan := e.reg.StartSpan(ctx, "infer.queue")
@@ -511,7 +614,7 @@ func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
 		e.mu.RUnlock()
 		qspan.Fail(ErrClosed)
 		qspan.End()
-		return Result{}, ErrClosed
+		return Result{}, d, ErrClosed
 	}
 	select {
 	case e.queue <- j:
@@ -523,19 +626,19 @@ func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
 		qspan.SetStr("shed", "queue_full")
 		qspan.Fail(ErrOverloaded)
 		qspan.End()
-		return Result{}, ErrOverloaded
+		return Result{}, d, ErrOverloaded
 	}
 
 	timer := time.NewTimer(e.cfg.QueueTimeout)
 	defer timer.Stop()
 	select {
 	case out := <-j.done:
-		return out.result()
+		return out.result(&d)
 	case <-ctx.Done():
 		j.abandoned.Store(true)
 		qspan.SetStr("shed", "abandoned")
 		qspan.End()
-		return Result{}, ctx.Err()
+		return Result{}, d, ctx.Err()
 	case <-timer.C:
 		if !j.picked.Load() {
 			j.abandoned.Store(true)
@@ -543,25 +646,32 @@ func (e *Engine) Do(ctx context.Context, od traj.ODInput) (Result, error) {
 			qspan.SetStr("shed", "queue_timeout")
 			qspan.Fail(ErrQueueTimeout)
 			qspan.End()
-			return Result{}, ErrQueueTimeout
+			d.wait = e.cfg.QueueTimeout
+			return Result{}, d, ErrQueueTimeout
 		}
 		// A worker took the job just in time: the timeout only bounds
 		// queue wait, so keep waiting for the in-progress answer.
 		select {
 		case out := <-j.done:
-			return out.result()
+			return out.result(&d)
 		case <-ctx.Done():
 			j.abandoned.Store(true)
-			return Result{}, ctx.Err()
+			return Result{}, d, ctx.Err()
 		}
 	}
 }
 
-func (out outcome) result() (Result, error) {
+// result converts a worker outcome, folding its authoritative detail facts
+// (queue wait, generation, traffic regime) into d.
+func (out outcome) result(d *serveDetail) (Result, serveDetail, error) {
+	d.wait = out.wait
+	d.gen = out.gen
+	d.epoch = out.epoch
+	d.live = out.live
 	if out.err != nil {
-		return Result{}, out.err
+		return Result{}, *d, out.err
 	}
-	return Result{Seconds: out.sec, SnapshotID: out.snapID, PredictionID: out.predID}, nil
+	return Result{Seconds: out.sec, SnapshotID: out.snapID, PredictionID: out.predID}, *d, nil
 }
 
 // stamp hands one served estimate to the prediction recorder, returning
@@ -611,21 +721,24 @@ func (e *Engine) worker() {
 			bctx, bspan := e.reg.StartSpan(j.ctx, "infer.batch")
 			bspan.SetInt("batch_size", len(batch))
 			bspan.SetStr("snapshot", inst.snap.ID)
+			epoch := e.trafficEpoch()
 			mctx, mspan := e.reg.StartSpan(bctx, "infer.match")
 			matched, err := e.cfg.Match(mctx, j.od)
 			if err != nil {
 				mspan.Fail(err)
 				mspan.End()
 				bspan.End()
-				j.done <- outcome{err: &MatchError{Err: err}}
+				j.done <- outcome{err: &MatchError{Err: err},
+					wait: wait, gen: inst.gen, epoch: epoch}
 				continue
 			}
 			mspan.End()
+			live := false
 			if e.cfg.Traffic != nil {
 				// The live view is authoritative at estimate time; it falls
 				// back to the training-time prior internally when cold or
 				// stale, so matched never loses its features entirely.
-				matched.External = e.cfg.Traffic.External(j.od.DepartSec)
+				matched.External, live = e.cfg.Traffic.External(j.od.DepartSec)
 			}
 			ectx, espan := e.reg.StartSpan(bctx, "infer.model")
 			sec := inst.snap.Estimate(ectx, &matched)
@@ -637,7 +750,8 @@ func (e *Engine) worker() {
 				e.cache.put(e.keyOf(j.od), sec, inst.gen, e.now())
 			}
 			bspan.End()
-			j.done <- outcome{sec: sec, snapID: inst.snap.ID, predID: e.stamp(j.od, sec, inst)}
+			j.done <- outcome{sec: sec, snapID: inst.snap.ID, predID: e.stamp(j.od, sec, inst),
+				wait: wait, gen: inst.gen, epoch: epoch, live: live}
 		}
 	}
 }

@@ -20,12 +20,12 @@ type stubTraffic struct {
 
 func (s *stubTraffic) Epoch() uint64 { return s.epoch.Load() }
 
-func (s *stubTraffic) External(departSec float64) *traj.ExternalFeatures {
+func (s *stubTraffic) External(departSec float64) (*traj.ExternalFeatures, bool) {
 	s.calls.Add(1)
 	return &traj.ExternalFeatures{
 		SpeedGrid: []float64{math.Float64frombits(s.speed.Load())},
 		GridRows:  1, GridCols: 1,
-	}
+	}, true
 }
 
 // TestTrafficExternalOverride: with a traffic source bound, the worker must

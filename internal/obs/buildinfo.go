@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sort"
+)
+
+// BuildFields resolves the running binary's identity from the embedded
+// build info: the Go toolchain, main module path (and version when stamped)
+// and the VCS revision/time/dirty flag when built from a checkout. The same
+// fields back both the tte_build_info gauge and GET /version, so the metric
+// a dashboard joins on and the endpoint an operator curls never disagree.
+func BuildFields() map[string]string {
+	fields := map[string]string{"go": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fields
+	}
+	fields["module"] = bi.Main.Path
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		fields["module_version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			fields["vcs_revision"] = kv.Value
+		case "vcs.time":
+			fields["vcs_time"] = kv.Value
+		case "vcs.modified":
+			fields["vcs_modified"] = kv.Value
+		}
+	}
+	return fields
+}
+
+// RegisterBuildInfo publishes the Prometheus build-info idiom: a constant
+// gauge
+//
+//	tte_build_info{go="go1.x", module="deepod", vcs_revision="...", ...} 1
+//
+// whose value carries no information — the labels do. Dashboards join it
+// against rate metrics to split any panel by binary version, and a deploy
+// shows up as one label set going 0→1 while the old one disappears. extra
+// appends deployment-specific label pairs (for example "model", <checkpoint
+// SHA>). The merged field map is returned for reuse in /version payloads.
+func RegisterBuildInfo(r *Registry, extra ...string) map[string]string {
+	if r == nil {
+		r = Default()
+	}
+	fields := BuildFields()
+	for i := 0; i+1 < len(extra); i += 2 {
+		fields[extra[i]] = extra[i+1]
+	}
+	labels := make([]string, 0, 2*len(fields))
+	// Registries key series by their label strings; emit in sorted order so
+	// repeated registration is idempotent.
+	for _, k := range sortedKeys(fields) {
+		labels = append(labels, k, fields[k])
+	}
+	r.Help("tte_build_info", "Constant 1; the labels identify the running build and model.")
+	r.Gauge("tte_build_info", labels...).Set(1)
+	return fields
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRegisterBuildInfo: the gauge is constant 1, its labels carry the
+// binary identity plus caller extras, and the same fields come back for
+// /version reuse.
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	fields := RegisterBuildInfo(reg, "model", "abc123", "city", "chengdu-s")
+	if fields["go"] == "" || fields["model"] != "abc123" || fields["city"] != "chengdu-s" {
+		t.Fatalf("fields = %v", fields)
+	}
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	var line string
+	for _, l := range strings.Split(body, "\n") {
+		if strings.HasPrefix(l, "tte_build_info{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("tte_build_info missing from exposition:\n%s", body)
+	}
+	for _, want := range []string{`model="abc123"`, `city="chengdu-s"`, `go="go`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("series %q missing label %s", line, want)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(line), " 1") {
+		t.Fatalf("series %q, want constant value 1", line)
+	}
+
+	// Re-registering (a reload updating the model label set) must not
+	// panic or duplicate help text.
+	RegisterBuildInfo(reg, "model", "abc123", "city", "chengdu-s")
+}

@@ -233,13 +233,28 @@ func (ts *TraceStore) Handler() http.Handler {
 			f.Limit = n
 		}
 		recs := ts.Traces(f)
+		// The envelope answers "how much am I not seeing" before anyone
+		// reads a trace: total_seen is every finished trace offered,
+		// dropped the ones tail sampling let go, overwritten the retained
+		// ones the ring has since evicted.
+		retained := ts.keptError.Value() + ts.keptSlow.Value() + ts.keptSample.Value()
+		ts.mu.Lock()
+		overwritten := 0
+		if ts.total > len(ts.ring) {
+			overwritten = ts.total - len(ts.ring)
+		}
+		ts.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(map[string]any{
-			"count":     len(recs),
-			"completed": ts.completed.Value(),
-			"traces":    recs,
+			"count":       len(recs),
+			"completed":   ts.completed.Value(),
+			"total_seen":  ts.completed.Value(),
+			"retained":    retained,
+			"dropped":     ts.completed.Value() - retained,
+			"overwritten": overwritten,
+			"traces":      recs,
 		})
 	})
 }

@@ -1,0 +1,146 @@
+package recorder
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// payload is the /debug/recorder envelope: the policy counters first, so
+// "how much did we drop" is answered before anyone reads an event list.
+type payload struct {
+	Stats    Stats         `json:"stats"`
+	Count    int           `json:"count"`
+	Events   []Event       `json:"events"`
+	Segments []SegmentInfo `json:"segments,omitempty"`
+}
+
+// Handler serves the flight recorder for debugging:
+//
+//	GET <mount>                     ring events newest-first, filterable by
+//	                                generation, epoch, errors, minDur, limit
+//	GET <mount>/segments            on-disk segment list
+//	GET <mount>/segments/<name>     raw JSONL segment download
+//
+// Filters arrive as query parameters; limit defaults to 256 so a browser
+// hit stays readable.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.Trim(strings.TrimPrefix(req.URL.Path, "/debug/recorder"), "/")
+		switch {
+		case rest == "":
+			r.serveEvents(w, req)
+		case rest == "segments":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Segments []SegmentInfo `json:"segments"`
+			}{r.Segments()})
+		case strings.HasPrefix(rest, "segments/"):
+			r.serveSegment(w, req, strings.TrimPrefix(rest, "segments/"))
+		default:
+			http.Error(w, "want /debug/recorder, /debug/recorder/segments or /debug/recorder/segments/<name>", http.StatusNotFound)
+		}
+	})
+}
+
+func (r *Recorder) serveEvents(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	f := Filter{Limit: 256}
+	if v := q.Get("generation"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad generation", http.StatusBadRequest)
+			return
+		}
+		f.Generation = n
+	}
+	if v := q.Get("epoch"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad epoch", http.StatusBadRequest)
+			return
+		}
+		f.Epoch, f.HasEpoch = n, true
+	}
+	if v := q.Get("errors"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, "bad errors", http.StatusBadRequest)
+			return
+		}
+		f.ErrorsOnly = b
+	}
+	if v := q.Get("minDur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			http.Error(w, "bad minDur (want a Go duration, e.g. 50ms)", http.StatusBadRequest)
+			return
+		}
+		f.MinDur = d
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	events := r.Events(f)
+	if events == nil {
+		events = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(payload{
+		Stats:    r.Stats(),
+		Count:    len(events),
+		Events:   events,
+		Segments: r.Segments(),
+	})
+}
+
+// serveSegment streams one segment file. The name is validated against the
+// writer's own listing — never joined into the path from raw user input —
+// so traversal is structurally impossible.
+func (r *Recorder) serveSegment(w http.ResponseWriter, req *http.Request, name string) {
+	if r.disk == nil {
+		http.Error(w, "no segment directory configured", http.StatusNotFound)
+		return
+	}
+	found := false
+	for _, si := range r.Segments() {
+		if si.Name == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		http.Error(w, "no such segment", http.StatusNotFound)
+		return
+	}
+	// Flush the live buffer so a download of the current segment carries
+	// every event captured so far.
+	r.Sync()
+	f, err := os.Open(filepath.Join(r.cfg.Dir, name))
+	if err != nil {
+		http.Error(w, "no such segment", http.StatusNotFound)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Disposition", "attachment; filename="+name)
+	http.ServeContent(w, req, name, time.Time{}, f)
+}

@@ -23,6 +23,10 @@
 //	     downloads raw pprof data (when Config.Profiles set)
 //	GET  /debug/traffic live traffic-store state: probes, coverage, epoch
 //	     (when Config.TrafficStatus set)
+//	GET  /debug/recorder flight-recorder wide events (filters: generation,
+//	     epoch, errors, minDur, limit); /debug/recorder/segments lists and
+//	     /debug/recorder/segments/<name> downloads on-disk segments (when
+//	     Config.Recorder set)
 //
 // Every route is wrapped with obs.Middleware (request counters by status
 // class, latency histograms, in-flight gauge, request logging), /estimate
@@ -50,8 +54,6 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
-	"runtime"
-	"runtime/debug"
 	"time"
 
 	"deepod/internal/geo"
@@ -59,6 +61,7 @@ import (
 	"deepod/internal/obs"
 	"deepod/internal/prof"
 	"deepod/internal/quality"
+	"deepod/internal/recorder"
 	"deepod/internal/slo"
 	"deepod/internal/traffic"
 	"deepod/internal/traj"
@@ -154,6 +157,11 @@ type Config struct {
 	// /readyz payload under "traffic" — warm-up visibility that never flips
 	// readiness (a replica without probes still serves from the prior).
 	TrafficStatus func() map[string]any
+	// Recorder, when non-nil, serves the flight recorder's wide events at
+	// GET /debug/recorder and its on-disk segments at
+	// /debug/recorder/segments[/<name>]. Capture itself is wired at the
+	// engine (infer.Config.Flight); the server only exposes it.
+	Recorder *recorder.Recorder
 }
 
 // ProbeSink ingests a parsed probe batch, returning how many probes were
@@ -232,6 +240,13 @@ func New(cfg Config) (*Server, error) {
 		// Raw like the other debug routes: inspecting the traffic store
 		// should not show up in request metrics.
 		s.mux.HandleFunc("/debug/traffic", s.handleTrafficDebug)
+	}
+	if cfg.Recorder != nil {
+		// The trailing-slash pattern also routes the segment paths
+		// (/debug/recorder/segments/<name>) to the recorder.
+		h := cfg.Recorder.Handler()
+		s.mux.Handle("/debug/recorder", h)
+		s.mux.Handle("/debug/recorder/", h)
 	}
 	return s, nil
 }
@@ -564,25 +579,11 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	body := map[string]any{
-		"city": s.cfg.City,
-		"go":   runtime.Version(),
-	}
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		body["module"] = bi.Main.Path
-		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
-			body["module_version"] = bi.Main.Version
-		}
-		for _, kv := range bi.Settings {
-			switch kv.Key {
-			case "vcs.revision":
-				body["vcs_revision"] = kv.Value
-			case "vcs.time":
-				body["vcs_time"] = kv.Value
-			case "vcs.modified":
-				body["vcs_modified"] = kv.Value
-			}
-		}
+	body := map[string]any{"city": s.cfg.City}
+	// The same fields obs.RegisterBuildInfo publishes as tte_build_info
+	// labels, so the metric and the endpoint never disagree.
+	for k, v := range obs.BuildFields() {
+		body[k] = v
 	}
 	if s.cfg.Version != nil {
 		for k, v := range s.cfg.Version() {

@@ -138,13 +138,16 @@ func (fs *FeatureSource) Epoch() uint64 {
 // External returns the features for a departure: the prior with live cell
 // speeds merged in, or the prior untouched when the store is cold, stale
 // for this departure, or dimensioned differently from the model's grid.
+// The second return reports which path answered — true when live speeds
+// were merged, false on the prior fallback — so the flight recorder can
+// stamp each served estimate with the feature provenance replay needs.
 // Safe for concurrent use by the inference workers.
-func (fs *FeatureSource) External(departSec float64) *traj.ExternalFeatures {
+func (fs *FeatureSource) External(departSec float64) (*traj.ExternalFeatures, bool) {
 	p := fs.prior(departSec)
 	sn := fs.store.Snapshot()
 	if sn == nil {
 		fs.mPrior.Inc()
-		return p
+		return p, false
 	}
 	fs.mCoverage.Set(sn.Coverage())
 	if sn.Coverage() < fs.cfg.MinCoverage ||
@@ -152,7 +155,7 @@ func (fs *FeatureSource) External(departSec float64) *traj.ExternalFeatures {
 		p == nil || p.GridRows != fs.grid.Rows || p.GridCols != fs.grid.Cols ||
 		len(p.SpeedGrid) != len(fs.cellEdges) || len(p.SpeedGrid) == 0 {
 		fs.mPrior.Inc()
-		return p
+		return p, false
 	}
 	grid := fs.mergedGrid(sn, p)
 	fs.mLive.Inc()
@@ -161,7 +164,7 @@ func (fs *FeatureSource) External(departSec float64) *traj.ExternalFeatures {
 		SpeedGrid: grid,
 		GridRows:  p.GridRows,
 		GridCols:  p.GridCols,
-	}
+	}, true
 }
 
 func (fs *FeatureSource) mergedGrid(sn *Snapshot, p *traj.ExternalFeatures) []float64 {

@@ -50,9 +50,12 @@ func featureFixture(t *testing.T, cfg FeatureConfig) (*FeatureSource, *Store, *r
 
 func TestFeatureSourceColdServesPrior(t *testing.T) {
 	fs, _, _ := featureFixture(t, FeatureConfig{})
-	ext := fs.External(100)
+	ext, live := fs.External(100)
 	if ext == nil {
 		t.Fatal("nil features")
+	}
+	if live {
+		t.Fatal("cold source reported live features")
 	}
 	for _, v := range ext.SpeedGrid {
 		if v != 8 {
@@ -69,7 +72,10 @@ func TestFeatureSourceMergesLiveSpeeds(t *testing.T) {
 	// Saturate edge 0 with slow traffic (2 m/s) around sim-time 100.
 	s.Record(0, 120, 60, 100)
 	s.Publish(100)
-	ext := fs.External(100)
+	ext, live := fs.External(100)
+	if !live {
+		t.Fatal("merged features not reported as live")
+	}
 	// The cells crossed by edge 0 must now read below the 8 m/s prior.
 	changed := 0
 	for ci, edges := range fs.cellEdges {
@@ -109,14 +115,20 @@ func TestFeatureSourceStaleFallsBack(t *testing.T) {
 	s.Record(0, 120, 60, 100)
 	s.Publish(100)
 	// Departure 1h after the newest probe: live layer says nothing.
-	ext := fs.External(100 + 3600)
+	ext, liveFlag := fs.External(100 + 3600)
+	if liveFlag {
+		t.Fatal("stale source reported live features")
+	}
 	for _, v := range ext.SpeedGrid {
 		if v != 8 {
 			t.Fatalf("stale source altered the prior: cell = %v", v)
 		}
 	}
 	// A departure near the data still merges.
-	ext = fs.External(150)
+	ext, liveFlag = fs.External(150)
+	if !liveFlag {
+		t.Fatal("fresh departure not reported as live")
+	}
 	live := false
 	for _, v := range ext.SpeedGrid {
 		if v != 8 {
@@ -132,7 +144,10 @@ func TestFeatureSourceLowCoverageFallsBack(t *testing.T) {
 	fs, s, _ := featureFixture(t, FeatureConfig{MinCoverage: 0.99})
 	s.Record(0, 120, 60, 100)
 	s.Publish(100)
-	ext := fs.External(100)
+	ext, live := fs.External(100)
+	if live {
+		t.Fatal("sub-coverage source reported live features")
+	}
 	for _, v := range ext.SpeedGrid {
 		if v != 8 {
 			t.Fatalf("sub-coverage source altered the prior: cell = %v", v)
@@ -144,8 +159,8 @@ func TestFeatureSourceMergeCached(t *testing.T) {
 	fs, s, _ := featureFixture(t, FeatureConfig{MinCoverage: 1e-9, Registry: obs.NewRegistry()})
 	s.Record(0, 120, 60, 100)
 	s.Publish(100)
-	a := fs.External(100)
-	b := fs.External(101)
+	a, _ := fs.External(100)
+	b, _ := fs.External(101)
 	if &a.SpeedGrid[0] != &b.SpeedGrid[0] {
 		t.Fatal("same snapshot + prior produced two merge allocations")
 	}
@@ -156,7 +171,7 @@ func TestFeatureSourceMergeCached(t *testing.T) {
 	// A new snapshot invalidates the cached matrix.
 	s.Record(0, 600, 60, 110)
 	s.Publish(110)
-	c := fs.External(110)
+	c, _ := fs.External(110)
 	if &c.SpeedGrid[0] == &a.SpeedGrid[0] {
 		t.Fatal("stale merged matrix served after a new snapshot")
 	}

@@ -23,7 +23,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/...
+go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/... ./internal/recorder/... ./internal/replay/...
 go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
 go test -race -run 'Parallel' ./internal/embed/
 
@@ -39,6 +39,9 @@ go test -run 'TestSLORequestAccountingOverhead' ./internal/infer/
 echo "== traffic gate (disabled live-traffic overhead on the serve path)"
 go test -run 'TestTrafficDisabledOverhead' ./internal/infer/
 
+echo "== flight-recorder gate (disabled wide-event capture overhead)"
+go test -run 'TestFlightDisabledOverhead' ./internal/infer/
+
 echo "== bench smoke (internal/infer + internal/obs spans)"
 go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
 go test -run '^$' -bench 'BenchmarkSpan|BenchmarkTraceStoreOffer' -benchtime=100ms ./internal/obs/
@@ -50,5 +53,9 @@ go run ./cmd/ttebench -trainbench -trainbench-orders 200 -trainbench-steps 10 \
 echo "== ingestbench smoke (probe firehose throughput + read degradation; gates CPU-aware)"
 go run ./cmd/ttebench -ingestbench -ingestbench-duration 2s -ingestbench-orders 200 \
     -ingestbench-vehicles 150 -ingestbench-gate-probes 50000 -ingestbench-gate-degrade 0.2
+
+echo "== replay smoke (record a serve session, replay against the same checkpoint: zero unexplained diffs)"
+go run ./cmd/ttereplay -smoke -smoke-orders 200 -smoke-requests 48 \
+    -gate-unexplained 0 -out BENCH_replay.json
 
 echo "ok"
