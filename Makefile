@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench trainbench ingestbench flightbench replaybench
+.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench trainbench ingestbench flightbench replaybench telemetrybench
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ check:
 	./scripts/check.sh
 
 race:
-	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/... ./internal/recorder/... ./internal/replay/...
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/... ./internal/recorder/... ./internal/replay/... ./internal/telemetry/...
 	go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
 	go test -race -run 'Parallel' ./internal/embed/
 
@@ -34,7 +34,7 @@ slobench:
 	go test -run '^$$' -bench 'BenchmarkEvaluatorTick|BenchmarkManagerSet' ./internal/slo/
 
 servebench:
-	go run ./cmd/ttebench -servebench
+	go run ./cmd/ttebench -servebench -servebench-telemetry-gate 3
 
 trainbench:
 	go run ./cmd/ttebench -trainbench -trainbench-gate 2
@@ -47,3 +47,7 @@ flightbench:
 
 replaybench:
 	go run ./cmd/ttereplay -smoke -gate-unexplained 0
+
+telemetrybench:
+	go test -run 'TestTelemetryDisabledOverhead' -v ./internal/obs/
+	go test -race -run 'TestExporterRoundTrip|TestExporterFlappingSink' -v ./internal/telemetry/

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"deepod"
+	"deepod/internal/benchmeta"
 	"deepod/internal/citysim"
 	"deepod/internal/core"
 	"deepod/internal/infer"
@@ -75,8 +76,7 @@ type ingestBenchReport struct {
 	Workers     int     `json:"ingest_workers"`
 	Concurrency int     `json:"read_concurrency"`
 	DistinctODs int     `json:"distinct_ods"`
-	NumCPU      int     `json:"num_cpu"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
+	benchmeta.Env
 
 	Phases []ingestBenchPhase `json:"phases"`
 
@@ -153,7 +153,7 @@ func runIngestBench(o ingestBenchOptions) error {
 	rep := ingestBenchReport{
 		City: o.City, Vehicles: o.Vehicles, ProbePool: len(pool), SpanSec: o.SpanSec,
 		Workers: o.Workers, Concurrency: o.Concurrency, DistinctODs: o.DistinctODs,
-		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        benchmeta.Capture(),
 		GateProbes: o.GateProbes, GateDegrade: o.GateDegrade,
 	}
 	log.Printf("ingestbench: %s, %d vehicles, %d probes pooled over %.0fs, %d ingest workers, %d read clients, %s per phase",
@@ -353,8 +353,8 @@ func runIngestBench(o ingestBenchOptions) error {
 	}
 
 	if o.GateProbes > 0 || o.GateDegrade > 0 {
-		if rep.NumCPU < 4 {
-			log.Printf("ingestbench: gates skipped — %d CPU(s) cannot host ingest and serve side by side", rep.NumCPU)
+		if rep.CPUs < 4 {
+			log.Printf("ingestbench: gates skipped — %d CPU(s) cannot host ingest and serve side by side", rep.CPUs)
 		} else {
 			rep.GateEnforced = true
 		}

@@ -14,12 +14,17 @@
 //
 // With -servebench, ttebench instead load-tests the serving path: the
 // direct per-request pipeline vs the inference engine (internal/infer)
-// with and without its estimate cache, on a repeated-OD workload. It
+// with and without its estimate cache, with the online quality monitor,
+// and with the full telemetry stack (history sampler + exemplars + push
+// exporter + 1% tracing, internal/telemetry) on a repeated-OD workload. It
 // prints QPS / p50 / p99 per mode, then drives a synthetic error spike
 // through the SLO engine (internal/slo) and reports burn-rate alert
 // detection/resolution latency plus monitoring overhead, and writes the
 // report to -servebench-out (default BENCH_serve.json).
-// -servebench-profile-dir keeps the alert-triggered profile bundles.
+// -servebench-profile-dir keeps the alert-triggered profile bundles;
+// -servebench-telemetry-gate fails the run when the telemetry stack costs
+// more than the given % of bare-engine QPS (>= 4-CPU machines only);
+// -servebench-dashboard-out writes the rendered /debug/dashboard HTML.
 //
 // With -ingestbench, ttebench measures the live-traffic pipeline: a
 // citysim-generated GPS probe firehose is replayed through incremental map
@@ -63,6 +68,8 @@ func main() {
 		sbSeed        = flag.Int64("servebench-seed", 1, "workload random seed")
 		sbOut         = flag.String("servebench-out", "BENCH_serve.json", "JSON report path")
 		sbProfileDir  = flag.String("servebench-profile-dir", "", "write profiles captured during the alert-spike scenario here (empty = in-memory only)")
+		sbTelGate     = flag.Float64("servebench-telemetry-gate", 0, "fail when engine+telemetry costs more than this % of bare-engine QPS (0 disables; skipped on <4-CPU machines)")
+		sbDashOut     = flag.String("servebench-dashboard-out", "", "write the telemetry-mode server's rendered /debug/dashboard HTML here")
 
 		ingestbench   = flag.Bool("ingestbench", false, "run the live-traffic ingestion benchmark instead of the paper experiments")
 		ibCity        = flag.String("ingestbench-city", "chengdu-s", "city preset for -ingestbench")
@@ -138,14 +145,16 @@ func main() {
 
 	if *servebench {
 		err := runServeBench(serveBenchOptions{
-			City:        *sbCity,
-			Duration:    *sbDuration,
-			Concurrency: *sbConcurrency,
-			DistinctODs: *sbDistinct,
-			Orders:      *sbOrders,
-			Seed:        *sbSeed,
-			Out:         *sbOut,
-			ProfileDir:  *sbProfileDir,
+			City:          *sbCity,
+			Duration:      *sbDuration,
+			Concurrency:   *sbConcurrency,
+			DistinctODs:   *sbDistinct,
+			Orders:        *sbOrders,
+			Seed:          *sbSeed,
+			Out:           *sbOut,
+			ProfileDir:    *sbProfileDir,
+			TelemetryGate: *sbTelGate,
+			DashboardOut:  *sbDashOut,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -14,11 +16,14 @@ import (
 	"time"
 
 	"deepod"
+	"deepod/internal/benchmeta"
 	"deepod/internal/core"
 	"deepod/internal/infer"
 	"deepod/internal/obs"
 	"deepod/internal/quality"
 	"deepod/internal/roadnet"
+	"deepod/internal/serve"
+	"deepod/internal/telemetry"
 	"deepod/internal/traj"
 )
 
@@ -34,6 +39,15 @@ type serveBenchOptions struct {
 	// ProfileDir receives the profile bundles captured during the
 	// alert-spike scenario (empty keeps them in memory only).
 	ProfileDir string
+	// TelemetryGate, when > 0, makes the run fail when the engine+telemetry
+	// mode costs more than this percentage of the bare engine's QPS.
+	// Enforced only on machines with >= 4 CPUs — overhead percentages on
+	// starved runners measure scheduling noise, not the telemetry stack.
+	TelemetryGate float64
+	// DashboardOut, when non-empty, writes the rendered /debug/dashboard
+	// HTML of the telemetry-mode server there (the CI workflow uploads it
+	// as an artifact).
+	DashboardOut string
 }
 
 // serveBenchMode is one measured serving configuration.
@@ -54,19 +68,40 @@ type serveBenchMode struct {
 
 // serveBenchReport is the BENCH_serve.json payload.
 type serveBenchReport struct {
-	City                  string           `json:"city"`
-	DurationSec           float64          `json:"duration_sec"`
-	Concurrency           int              `json:"concurrency"`
-	DistinctODs           int              `json:"distinct_ods"`
-	EngineWorkers         int              `json:"engine_workers"`
+	City          string  `json:"city"`
+	DurationSec   float64 `json:"duration_sec"`
+	Concurrency   int     `json:"concurrency"`
+	DistinctODs   int     `json:"distinct_ods"`
+	EngineWorkers int     `json:"engine_workers"`
+	benchmeta.Env
 	Modes                 []serveBenchMode `json:"modes"`
 	SpeedupCachedVsDirect float64          `json:"speedup_cached_vs_direct"`
 	// FeedbackOverheadPct is the throughput cost of full quality monitoring
 	// (stamp + pending table + feedback join) vs the bare engine mode.
 	FeedbackOverheadPct float64 `json:"feedback_overhead_pct"`
+	// TelemetryOverheadPct is the throughput cost of the full telemetry
+	// stack (history sampler + exemplars + push exporter + 1% tracing) vs
+	// the bare engine mode.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	// Telemetry snapshots the history sampler and exporter after the
+	// engine+telemetry mode, proving the pipeline actually ran.
+	Telemetry *serveBenchTelemetry `json:"telemetry,omitempty"`
+	// TelemetryGateThreshold and GateEnforced record the overhead gate so
+	// a green CI run is distinguishable from a skipped one.
+	TelemetryGateThreshold float64 `json:"telemetry_gate_threshold,omitempty"`
+	GateEnforced           bool    `json:"gate_enforced"`
 	// AlertSpike reports the synthetic error-spike scenario: burn-rate
 	// alert detection/resolution latency and SLO monitoring overhead.
 	AlertSpike *alertSpikeReport `json:"alert_spike,omitempty"`
+}
+
+// serveBenchTelemetry is the telemetry-pipeline evidence embedded in the
+// report: sampler shape, exporter deliveries to the in-process sink, and
+// how many requests ran under a hand-opened trace (the exemplar sources).
+type serveBenchTelemetry struct {
+	History telemetry.Stats       `json:"history"`
+	Export  telemetry.ExportStats `json:"export"`
+	Traced  uint64                `json:"traced_requests"`
 }
 
 // runServeBench measures the serving path four ways on a repeated-OD
@@ -110,18 +145,20 @@ func runServeBench(o serveBenchOptions) error {
 
 	workers := runtime.GOMAXPROCS(0)
 	report := serveBenchReport{
-		City:          o.City,
-		DurationSec:   o.Duration.Seconds(),
-		Concurrency:   o.Concurrency,
-		DistinctODs:   o.DistinctODs,
-		EngineWorkers: workers,
+		City:                   o.City,
+		DurationSec:            o.Duration.Seconds(),
+		Concurrency:            o.Concurrency,
+		DistinctODs:            o.DistinctODs,
+		EngineWorkers:          workers,
+		Env:                    benchmeta.Capture(),
+		TelemetryGateThreshold: o.TelemetryGate,
 	}
 
 	cells, err := roadnet.NewEdgeIndex(c.Graph, 250)
 	if err != nil {
 		return err
 	}
-	newEngine := func(cacheEntries int, rec infer.PredictionRecorder) (*infer.Engine, error) {
+	newEngine := func(cacheEntries int, rec infer.PredictionRecorder, reg *obs.Registry) (*infer.Engine, error) {
 		return infer.New(infer.Config{
 			Match:        match,
 			Snapshot:     infer.ModelSnapshot("servebench", m),
@@ -134,7 +171,7 @@ func runServeBench(o serveBenchOptions) error {
 			Cells:        cells,
 			Slotter:      m.Slotter(),
 			Recorder:     rec,
-			Registry:     obs.NewRegistry(), // keep bench metrics out of the default registry
+			Registry:     reg, // keep bench metrics out of the default registry
 		})
 	}
 
@@ -202,7 +239,7 @@ func runServeBench(o serveBenchOptions) error {
 
 	report.Modes = append(report.Modes, run("direct", direct, nil))
 
-	engNo, err := newEngine(0, nil)
+	engNo, err := newEngine(0, nil, obs.NewRegistry())
 	if err != nil {
 		return err
 	}
@@ -212,7 +249,7 @@ func runServeBench(o serveBenchOptions) error {
 	report.Modes = append(report.Modes, run("engine", engine, engNo))
 	engNo.Close()
 
-	engCache, err := newEngine(65536, nil)
+	engCache, err := newEngine(65536, nil, obs.NewRegistry())
 	if err != nil {
 		return err
 	}
@@ -235,7 +272,7 @@ func runServeBench(o serveBenchOptions) error {
 		Slotter:    m.Slotter(),
 		Registry:   obs.NewRegistry(),
 	})
-	engFb, err := newEngine(0, mon)
+	engFb, err := newEngine(0, mon, obs.NewRegistry())
 	if err != nil {
 		return err
 	}
@@ -262,6 +299,24 @@ func runServeBench(o serveBenchOptions) error {
 		report.FeedbackOverheadPct = 100 * (1 - report.Modes[3].QPS/report.Modes[1].QPS)
 	}
 
+	// Telemetry mode: the bare engine again, but with the full telemetry
+	// stack live — history sampler ticking the engine's registry at a fast
+	// interval, exemplar recording on, the push exporter shipping deltas to
+	// an in-process sink, and ~1% of requests running under a hand-opened
+	// trace (servebench calls eng.Do directly, so there is no HTTP
+	// middleware to start one). The QPS delta vs the bare engine is the
+	// price of turning everything on.
+	if err := runTelemetryMode(o, &report, newEngine, run); err != nil {
+		return err
+	}
+	if o.TelemetryGate > 0 {
+		if report.CPUs < 4 {
+			log.Printf("servebench: telemetry overhead gate skipped — %d CPU(s) cannot measure overhead without scheduling noise", report.CPUs)
+		} else {
+			report.GateEnforced = true
+		}
+	}
+
 	// Alert-spike scenario: synthetic error spike through the SLO engine on
 	// the same city and workload, reporting detection/resolution latency.
 	log.Printf("servebench: alert-spike scenario (burn-rate detection latency)")
@@ -283,6 +338,10 @@ func runServeBench(o serveBenchOptions) error {
 	fmt.Fprintf(&b, "cached throughput vs direct: %.1fx\n", report.SpeedupCachedVsDirect)
 	fmt.Fprintf(&b, "quality monitoring overhead vs bare engine: %.1f%% (online MAE %.1fs over %d joined)\n",
 		report.FeedbackOverheadPct, fb.QualityMAESec, fb.Joined)
+	if t := report.Telemetry; t != nil {
+		fmt.Fprintf(&b, "telemetry overhead vs bare engine: %.1f%% (%d series sampled, %d batches / %d points exported, %d traced requests)\n",
+			report.TelemetryOverheadPct, t.History.Series, t.Export.BatchesOK, t.Export.PointsExported, t.Traced)
+	}
 	fmt.Fprintf(&b, "alert spike (%d rounds, %.0f ms eval interval): detect p50 %.0f ms / max %.0f ms, resolve p50 %.0f ms, %d profiles, SLO overhead %.1f%%\n",
 		spikeRep.Rounds, spikeRep.EvalIntervalMs, spikeRep.DetectP50Ms, spikeRep.DetectMaxMs,
 		spikeRep.ResolveP50Ms, spikeRep.Profiles, spikeRep.SLOOverheadPct)
@@ -302,6 +361,131 @@ func runServeBench(o serveBenchOptions) error {
 		return err
 	}
 	log.Printf("servebench: wrote %s", o.Out)
+
+	if report.GateEnforced && report.TelemetryOverheadPct > o.TelemetryGate {
+		return fmt.Errorf("servebench: telemetry overhead gate failed: %.1f%% QPS cost vs bare engine, want <= %.1f%%",
+			report.TelemetryOverheadPct, o.TelemetryGate)
+	}
+	return nil
+}
+
+// runTelemetryMode measures the engine+telemetry serving mode: a fresh
+// uncached engine whose registry is sampled by a fast-interval History,
+// with exemplar recording enabled process-wide for the mode's duration, a
+// push Exporter delivering OTLP-shaped batches to an in-process HTTP sink,
+// and ~1% of requests running under a hand-opened trace offered to a
+// TraceStore — the whole observability stack at once. It appends the mode
+// to the report, fills TelemetryOverheadPct and report.Telemetry, and
+// renders /debug/dashboard to o.DashboardOut when asked.
+func runTelemetryMode(
+	o serveBenchOptions,
+	report *serveBenchReport,
+	newEngine func(int, infer.PredictionRecorder, *obs.Registry) (*infer.Engine, error),
+	run func(string, func(context.Context, int, traj.ODInput) (infer.Result, error), *infer.Engine) serveBenchMode,
+) error {
+	reg := obs.NewRegistry()
+	obs.SetExemplars(true)
+	defer obs.SetExemplars(false)
+
+	hist, err := telemetry.NewHistory(telemetry.Config{
+		Interval: 250 * time.Millisecond, // fast enough to tick many times in a short window
+		Source:   reg,
+		Registry: reg,
+	})
+	if err != nil {
+		return err
+	}
+	hist.Start()
+	defer hist.Close()
+
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer sink.Close()
+	exp, err := telemetry.NewExporter(telemetry.ExportConfig{
+		Endpoint: sink.URL,
+		Interval: 500 * time.Millisecond,
+		History:  hist,
+		Registry: reg,
+		Service:  "servebench",
+	})
+	if err != nil {
+		return err
+	}
+	exp.Start()
+	defer exp.Close()
+
+	ts := obs.NewTraceStore(reg, obs.TraceStoreConfig{SampleRate: 1, Seed: o.Seed})
+	eng, err := newEngine(0, nil, reg)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	// servebench calls eng.Do directly — no HTTP middleware starts traces —
+	// so the mode opens one by hand for every 100th workload index. Those
+	// requests' histogram observations carry the trace ID as an exemplar,
+	// and the finished traces land in the store the exemplars resolve
+	// against.
+	var tracedN uint64
+	var tracedMu sync.Mutex
+	do := func(ctx context.Context, i int, od traj.ODInput) (infer.Result, error) {
+		if i%100 != 0 {
+			return eng.Do(ctx, od)
+		}
+		tracedMu.Lock()
+		tracedN++
+		tracedMu.Unlock()
+		tctx, tr := obs.StartTrace(ctx, obs.NewTraceID(), "/estimate")
+		start := time.Now()
+		res, err := eng.Do(tctx, od)
+		ts.Offer(tr, time.Since(start))
+		return res, err
+	}
+	report.Modes = append(report.Modes, run("engine+telemetry", do, eng))
+
+	// Final synchronous sample + collect, then wait briefly for the sender
+	// goroutine so the report proves end-to-end delivery even on very short
+	// measurement windows.
+	hist.Tick()
+	exp.Collect()
+	deadline := time.Now().Add(5 * time.Second)
+	for exp.Stats().BatchesOK == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	tel := report.Modes[len(report.Modes)-1]
+	if report.Modes[1].QPS > 0 {
+		report.TelemetryOverheadPct = 100 * (1 - tel.QPS/report.Modes[1].QPS)
+	}
+	report.Telemetry = &serveBenchTelemetry{
+		History: hist.HistoryStats(),
+		Export:  exp.Stats(),
+		Traced:  tracedN,
+	}
+
+	if o.DashboardOut != "" {
+		srv, err := serve.New(serve.Config{
+			City:     o.City,
+			Infer:    eng.Do,
+			Registry: reg,
+			Traces:   ts,
+			History:  hist,
+			Exporter: exp,
+		})
+		if err != nil {
+			return err
+		}
+		rr := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/dashboard", nil))
+		if rr.Code != http.StatusOK {
+			return fmt.Errorf("servebench: dashboard render: HTTP %d", rr.Code)
+		}
+		if err := os.WriteFile(o.DashboardOut, rr.Body.Bytes(), 0o644); err != nil {
+			return err
+		}
+		log.Printf("servebench: wrote rendered dashboard to %s", o.DashboardOut)
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"deepod"
+	"deepod/internal/benchmeta"
 )
 
 // trainBenchOptions configures the training throughput benchmark
@@ -47,13 +48,12 @@ type trainBenchMode struct {
 
 // trainBenchReport is the BENCH_train.json payload.
 type trainBenchReport struct {
-	City       string           `json:"city"`
-	Orders     int              `json:"orders"`
-	BatchSize  int              `json:"batch_size"`
-	MaxSteps   int              `json:"max_steps"`
-	NumCPU     int              `json:"num_cpu"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Modes      []trainBenchMode `json:"modes"`
+	City      string `json:"city"`
+	Orders    int    `json:"orders"`
+	BatchSize int    `json:"batch_size"`
+	MaxSteps  int    `json:"max_steps"`
+	benchmeta.Env
+	Modes []trainBenchMode `json:"modes"`
 	// SpeedupBestVs1 is best samples/sec over the 1-worker samples/sec;
 	// Speedup4Vs1 is the 4-worker ratio (0 when 4 workers was not run).
 	SpeedupBestVs1 float64 `json:"speedup_best_vs_1"`
@@ -108,11 +108,11 @@ func runTrainBench(o trainBenchOptions) error {
 	}
 	rep := trainBenchReport{
 		City: o.City, Orders: o.Orders, BatchSize: o.Batch, MaxSteps: o.Steps,
-		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:           benchmeta.Capture(),
 		GateThreshold: o.Gate,
 	}
 	log.Printf("trainbench: city=%s orders=%d batch=%d steps=%d cpus=%d",
-		o.City, o.Orders, o.Batch, o.Steps, rep.NumCPU)
+		o.City, o.Orders, o.Batch, o.Steps, rep.CPUs)
 
 	for _, workers := range o.Workers {
 		cfg := trainBenchConfig()
@@ -173,8 +173,8 @@ func runTrainBench(o trainBenchOptions) error {
 
 	if o.Gate > 0 {
 		switch {
-		case rep.NumCPU < 4:
-			log.Printf("trainbench: speedup gate skipped — %d CPU(s) cannot demonstrate 4-worker scaling", rep.NumCPU)
+		case rep.CPUs < 4:
+			log.Printf("trainbench: speedup gate skipped — %d CPU(s) cannot demonstrate 4-worker scaling", rep.CPUs)
 		case four == 0 || base == 0:
 			log.Printf("trainbench: speedup gate skipped — need both 1- and 4-worker runs (got workers=%v)", o.Workers)
 		default:

@@ -42,6 +42,7 @@ import (
 	"runtime"
 
 	"deepod"
+	"deepod/internal/benchmeta"
 	"deepod/internal/infer"
 	"deepod/internal/obs"
 	"deepod/internal/recorder"
@@ -166,13 +167,17 @@ func main() {
 		log.Fatalf("replay: %v", err)
 	}
 
+	env := benchmeta.Capture()
 	report := map[string]any{
-		"bench":      "replay",
-		"city":       *city,
-		"model":      *modelPath,
-		"segments":   *segDir,
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"replay":     rep,
+		"bench":         "replay",
+		"city":          *city,
+		"model":         *modelPath,
+		"segments":      *segDir,
+		"cpus":          env.CPUs,
+		"gomaxprocs":    env.GOMAXPROCS,
+		"go_version":    env.GoVersion,
+		"gate_enforced": *gateUnexplained >= 0 || *gateThroughput > 0,
+		"replay":        rep,
 	}
 	if len(headers) > 0 {
 		report["segment_meta"] = headers[0].Meta

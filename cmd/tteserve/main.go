@@ -23,6 +23,20 @@
 //	POST /probes       → NDJSON GPS probe firehose feeding the live traffic store (with -traffic)
 //	GET  /debug/traffic → live traffic pipeline state: probes, coverage, epoch (with -traffic)
 //	GET  /debug/recorder → flight-recorder wide events + segment downloads (with -recorder)
+//	GET  /debug/metrics/history → queryable in-process metric history (with -telemetry)
+//	GET  /debug/dashboard → unified ops view: SLO, alerts, quality, traffic, sparklines
+//
+// With -telemetry (default on) a history sampler ticks the metrics
+// registry every -telemetry-interval into per-series bounded rings (a raw
+// tier plus a coarse long-horizon tier), queryable at
+// /debug/metrics/history?series=...&range=...&agg=... and charted on
+// /debug/dashboard. With -exemplars, histogram observations on traced
+// requests carry their trace ID: /metrics?exemplars=1 exposes them in
+// OpenMetrics exemplar syntax and /debug/metrics/history returns them
+// next to each series, resolvable at /debug/traces?trace=<id>. With
+// -export-endpoint the sampled history is pushed as OTLP-shaped JSON
+// batches every -export-interval with bounded queueing, exponential
+// backoff and shed-on-overflow.
 //
 // With -recorder, every served estimate is offered to the flight recorder:
 // errors and shed requests are always captured, the slowest N per window
@@ -81,6 +95,7 @@ import (
 	"deepod/internal/roadnet"
 	"deepod/internal/serve"
 	"deepod/internal/slo"
+	"deepod/internal/telemetry"
 	"deepod/internal/traffic"
 	"deepod/internal/traj"
 )
@@ -164,6 +179,12 @@ func main() {
 		recorderSlowest   = flag.Int("recorder-slowest", 16, "always capture the slowest N estimates per capture window")
 		recorderSegEvents = flag.Int("recorder-segment-events", 4096, "rotate the on-disk segment file after this many events")
 		recorderSegments  = flag.Int("recorder-segments", 8, "segment files retained on disk (oldest deleted beyond this)")
+
+		telemetryOn       = flag.Bool("telemetry", true, "history sampler: in-process metric history at /debug/metrics/history and dashboard sparklines")
+		telemetryInterval = flag.Duration("telemetry-interval", 10*time.Second, "history sampling period (raw tier)")
+		exemplarsOn       = flag.Bool("exemplars", false, "attach trace-ID exemplars to histogram observations (exposed at /metrics?exemplars=1 and in /debug/metrics/history)")
+		exportEndpoint    = flag.String("export-endpoint", "", "push sampled metric history as OTLP-shaped JSON to this HTTP endpoint (empty = disabled)")
+		exportInterval    = flag.Duration("export-interval", 15*time.Second, "metric history push period")
 
 		sloOn       = flag.Bool("slo", true, "SLO engine: burn-rate alerting over the built-in objectives, GET /debug/slo and /debug/alerts")
 		sloConfig   = flag.String("slo-config", "", "JSON file with custom SLO objectives and burn rules (empty = built-in defaults)")
@@ -253,6 +274,46 @@ func main() {
 		SampleRate: *traceSample,
 	})
 
+	// Telemetry history: the sampler ticks the default registry into
+	// bounded per-series rings; the exporter (when an endpoint is given)
+	// pushes the deltas out with backoff and bounded queueing. Exemplars
+	// are process-global: once on, traced requests stamp their trace ID
+	// onto histogram observations.
+	obs.SetExemplars(*exemplarsOn)
+	var (
+		history  *telemetry.History
+		exporter *telemetry.Exporter
+	)
+	if *telemetryOn {
+		history, err = telemetry.NewHistory(telemetry.Config{
+			Interval: *telemetryInterval,
+			Logger:   logger,
+		})
+		if err != nil {
+			fatal("building telemetry history", err)
+		}
+		history.Start()
+		defer history.Close()
+		if *exportEndpoint != "" {
+			hostname, _ := os.Hostname()
+			exporter, err = telemetry.NewExporter(telemetry.ExportConfig{
+				Endpoint: *exportEndpoint,
+				Interval: *exportInterval,
+				History:  history,
+				Instance: hostname,
+				Logger:   logger,
+			})
+			if err != nil {
+				fatal("building telemetry exporter", err)
+			}
+			exporter.Start()
+			defer exporter.Close()
+			logger.Info("telemetry export on", "endpoint", *exportEndpoint, "interval", *exportInterval)
+		}
+	} else if *exportEndpoint != "" {
+		logger.Info("-export-endpoint needs -telemetry; export disabled")
+	}
+
 	// The SLO/alerting layer is assembled before the engine branch so the
 	// quality monitor can route its drift alert through the same manager.
 	var (
@@ -316,6 +377,8 @@ func main() {
 		SLO:            sloEval,
 		Alerts:         alertMgr,
 		Profiles:       profiler,
+		History:        history,
+		Exporter:       exporter,
 	}
 
 	scfg.External = c.Grid.External

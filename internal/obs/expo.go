@@ -22,6 +22,10 @@ type Sample struct {
 	BucketCounts []uint64
 	Count        uint64
 	Sum          float64
+	// Exemplars holds the latest exemplar per bucket, indexed like
+	// BucketCounts (+Inf last); entries are nil for buckets without one.
+	// Populated only when exemplar recording has stored any (exemplar.go).
+	Exemplars []*Exemplar
 }
 
 // Label returns the sample's value for the label key, or "".
@@ -32,6 +36,44 @@ func (s Sample) Label(key string) string {
 		}
 	}
 	return ""
+}
+
+// Quantile estimates the q-quantile of a histogram sample by linear
+// interpolation within the bucket containing it, mirroring
+// Histogram.Quantile but working on captured snapshot data — the history
+// sampler derives p50/p99 series from Snapshot output without re-touching
+// the live histogram. Returns NaN for empty or non-histogram samples.
+func (s Sample) Quantile(q float64) float64 {
+	if s.Kind != "histogram" || s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.BucketCounts {
+		if i >= len(s.BucketUppers) {
+			break // +Inf bucket: fall through to the clamp below
+		}
+		n := float64(c)
+		if cum+n >= rank && n > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = s.BucketUppers[i-1]
+			}
+			frac := (rank - cum) / n
+			return lower + frac*(s.BucketUppers[i]-lower)
+		}
+		cum += n
+	}
+	if len(s.BucketUppers) == 0 {
+		return math.NaN()
+	}
+	return s.BucketUppers[len(s.BucketUppers)-1]
 }
 
 // Snapshot captures every metric in the registry, sorted by family name
@@ -65,6 +107,14 @@ func (r *Registry) Snapshot() []Sample {
 				s.BucketUppers, s.BucketCounts = m.Buckets()
 				s.Count = m.Count()
 				s.Sum = m.Sum()
+				for i, e := range m.Exemplars() {
+					if e != nil {
+						if s.Exemplars == nil {
+							s.Exemplars = make([]*Exemplar, len(s.BucketCounts))
+						}
+						s.Exemplars[i] = e
+					}
+				}
 			}
 			out = append(out, s)
 		}
@@ -91,6 +141,12 @@ func sortedPairs(labels []string) []string {
 // Prometheus text format (version 0.0.4), hand-rolled: one # TYPE (and
 // optional # HELP) comment per family, then one line per sample, with
 // histograms expanded into cumulative _bucket{le=...}, _sum and _count.
+//
+// With ?exemplars=1 (or an Accept header requesting openmetrics-text) the
+// response switches to the OpenMetrics flavour: histogram _bucket lines
+// gain `# {trace_id="..."} value timestamp` exemplar suffixes and the
+// stream is terminated with # EOF. Plain scrapes never see exemplar
+// syntax, so Prometheus 0.0.4 parsers stay happy.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -98,17 +154,26 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		openMetrics := req.URL.Query().Get("exemplars") == "1" ||
+			strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text")
+		if openMetrics {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
 		if req.Method == http.MethodHead {
 			return
 		}
 		var b strings.Builder
-		r.writeText(&b)
+		r.writeText(&b, openMetrics)
+		if openMetrics {
+			b.WriteString("# EOF\n")
+		}
 		_, _ = w.Write([]byte(b.String()))
 	})
 }
 
-func (r *Registry) writeText(b *strings.Builder) {
+func (r *Registry) writeText(b *strings.Builder, exemplars bool) {
 	samples := r.Snapshot()
 	// Group consecutive samples by family for the TYPE/HELP headers.
 	helps := map[string]string{}
@@ -144,7 +209,13 @@ func (r *Registry) writeText(b *strings.Builder) {
 				if i < len(s.BucketUppers) {
 					le = formatFloat(s.BucketUppers[i])
 				}
-				fmt.Fprintf(b, "%s_bucket%s %d\n", s.Name, labelString(s.Labels, "le", le), cum)
+				fmt.Fprintf(b, "%s_bucket%s %d", s.Name, labelString(s.Labels, "le", le), cum)
+				if exemplars && i < len(s.Exemplars) && s.Exemplars[i] != nil {
+					e := s.Exemplars[i]
+					fmt.Fprintf(b, " # {trace_id=\"%s\"} %s %.3f",
+						escapeLabel(e.TraceID), formatFloat(e.Value), e.Unix)
+				}
+				b.WriteByte('\n')
 			}
 			fmt.Fprintf(b, "%s_sum%s %s\n", s.Name, labelString(s.Labels), formatFloat(s.Sum))
 			fmt.Fprintf(b, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Count)

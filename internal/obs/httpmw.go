@@ -85,6 +85,11 @@ func (mw Middleware) Wrap(route string, h http.Handler) http.Handler {
 
 		d := time.Since(start)
 		latency.Observe(d.Seconds())
+		if tr != nil && exemplarsOn.Load() {
+			// Traced requests stamp the route-latency bucket with their
+			// trace ID; untraced requests never take this branch.
+			latency.recordExemplar(d.Seconds(), tr.id)
+		}
 		code := sw.Status()
 		reg.Counter("tte_http_requests_total", "route", route, "code", statusClass(code)).Inc()
 		if root != nil {

@@ -129,6 +129,12 @@ func (s *Span) End() time.Duration {
 	}
 	s.hist.Observe(d.Seconds())
 	if s.trace != nil {
+		// Traced spans carry the trace ID into the histogram as an
+		// exemplar when recording is on; untraced spans (the common case)
+		// never reach this branch, so the disabled path stays a nil check.
+		if exemplarsOn.Load() {
+			s.hist.recordExemplar(d.Seconds(), s.trace.id)
+		}
 		s.mu.Lock()
 		s.dur = d
 		s.mu.Unlock()

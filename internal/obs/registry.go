@@ -184,6 +184,10 @@ type Histogram struct {
 	inf     atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds the latest exemplar per bucket (+Inf last), written
+	// only when exemplar recording is enabled (see exemplar.go). One atomic
+	// pointer per bucket: readers never block writers.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram returns a standalone histogram that is not registered in
@@ -201,11 +205,13 @@ func newHistogram(uppers []float64) *Histogram {
 	}
 	h := &Histogram{uppers: append([]float64(nil), uppers...)}
 	h.buckets = make([]atomic.Uint64, len(h.uppers))
+	h.exemplars = make([]atomic.Pointer[Exemplar], len(h.uppers)+1)
 	return h
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
+// bucketIdx returns the index of the bucket v falls into; len(uppers) is
+// the +Inf bucket.
+func (h *Histogram) bucketIdx(v float64) int {
 	// Binary search for the first upper bound >= v.
 	lo, hi := 0, len(h.uppers)
 	for lo < hi {
@@ -216,7 +222,12 @@ func (h *Histogram) Observe(v float64) {
 			hi = mid
 		}
 	}
-	if lo < len(h.uppers) {
+	return lo
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if lo := h.bucketIdx(v); lo < len(h.uppers) {
 		h.buckets[lo].Add(1)
 	} else {
 		h.inf.Add(1)

@@ -158,6 +158,9 @@ func (ts *TraceStore) slowLocked(d time.Duration) bool {
 
 // TraceFilter selects retained traces; zero values mean "no constraint".
 type TraceFilter struct {
+	// TraceID selects one specific trace — the lookup exemplar trace IDs
+	// from /metrics and /debug/metrics/history resolve through.
+	TraceID   string
 	Route     string
 	MinDur    time.Duration
 	ErrorOnly bool
@@ -180,6 +183,9 @@ func (ts *TraceStore) Traces(f TraceFilter) []*TraceRecord {
 		if rec == nil {
 			continue
 		}
+		if f.TraceID != "" && rec.TraceID != f.TraceID {
+			continue
+		}
 		if f.Route != "" && rec.Route != f.Route {
 			continue
 		}
@@ -200,10 +206,12 @@ func (ts *TraceStore) Traces(f TraceFilter) []*TraceRecord {
 // Handler serves the retained traces as JSON:
 //
 //	GET /debug/traces?route=/estimate&minDur=50ms&errors=1&limit=20
+//	GET /debug/traces?trace=<id>
 //
 // minDur accepts a Go duration ("50ms", "1.5s") or a bare number of
-// milliseconds. errors=1 keeps only error traces. Traces are returned
-// newest-first.
+// milliseconds. errors=1 keeps only error traces. trace= looks up one
+// trace by ID — the link exemplar trace IDs resolve through. Traces are
+// returned newest-first.
 func (ts *TraceStore) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
@@ -212,7 +220,7 @@ func (ts *TraceStore) Handler() http.Handler {
 			return
 		}
 		q := r.URL.Query()
-		f := TraceFilter{Route: q.Get("route")}
+		f := TraceFilter{TraceID: q.Get("trace"), Route: q.Get("route")}
 		if v := q.Get("minDur"); v != "" {
 			d, err := parseDur(v)
 			if err != nil {

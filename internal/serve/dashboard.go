@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"deepod/internal/obs"
+	"deepod/internal/quality"
+	"deepod/internal/recorder"
+	"deepod/internal/slo"
+	"deepod/internal/telemetry"
+)
+
+// sparkSeries are the history lines the dashboard charts when the sampler
+// is wired. Families that don't exist in this process simply return no
+// series.
+var sparkSeries = []struct {
+	Series string
+	Agg    string
+	Title  string
+}{
+	{"tte_http_requests_total", "rate", "request rate (/s)"},
+	{"tte_http_request_seconds:p99", "value", "p99 latency (s)"},
+	{"tte_infer_queue_depth", "value", "infer queue depth"},
+	{"tte_slo_burn_rate", "value", "SLO burn rate"},
+}
+
+// sparkPoints bounds the points embedded per sparkline.
+const sparkPoints = 120
+
+// DashboardSpark is one rendered sparkline: a history series plus its
+// chart title.
+type DashboardSpark struct {
+	Title  string                  `json:"title"`
+	Series []telemetry.QuerySeries `json:"series"`
+}
+
+// DashboardAlerts is the alert slice of the dashboard payload.
+type DashboardAlerts struct {
+	Firing  []slo.ActiveAlert `json:"firing"`
+	History []slo.Event       `json:"history"`
+}
+
+// Dashboard is the GET /debug/dashboard?format=json payload: every
+// operational surface the process exposes, aggregated into one read.
+// Slices not wired on this server are null.
+type Dashboard struct {
+	City    string         `json:"city"`
+	Ready   bool           `json:"ready"`
+	Detail  map[string]any `json:"ready_detail,omitempty"`
+	Version map[string]any `json:"version,omitempty"`
+
+	SLO      *slo.Status            `json:"slo,omitempty"`
+	Alerts   *DashboardAlerts       `json:"alerts,omitempty"`
+	Quality  *quality.State         `json:"quality,omitempty"`
+	Traffic  map[string]any         `json:"traffic,omitempty"`
+	Recorder *recorder.Stats        `json:"recorder,omitempty"`
+	History  *telemetry.Stats       `json:"history,omitempty"`
+	Export   *telemetry.ExportStats `json:"export,omitempty"`
+	Sparks   []DashboardSpark       `json:"sparks,omitempty"`
+}
+
+// dashboard aggregates the live state of every wired surface.
+func (s *Server) dashboard() Dashboard {
+	d := Dashboard{City: s.cfg.City, Ready: true}
+	if s.cfg.Ready != nil {
+		d.Ready, d.Detail = s.cfg.Ready()
+	}
+	if s.cfg.Version != nil {
+		d.Version = s.cfg.Version()
+	}
+	for k, v := range obs.BuildFields() {
+		if d.Version == nil {
+			d.Version = map[string]any{}
+		}
+		if _, ok := d.Version[k]; !ok {
+			d.Version[k] = v
+		}
+	}
+	if s.cfg.SLO != nil {
+		st := s.cfg.SLO.Status()
+		d.SLO = &st
+	}
+	if s.cfg.Alerts != nil {
+		d.Alerts = &DashboardAlerts{Firing: s.cfg.Alerts.Active(), History: s.cfg.Alerts.History()}
+	}
+	if s.cfg.Quality != nil {
+		st := s.cfg.Quality.State()
+		d.Quality = &st
+	}
+	if s.cfg.TrafficStatus != nil {
+		d.Traffic = s.cfg.TrafficStatus()
+	}
+	if s.cfg.Recorder != nil {
+		st := s.cfg.Recorder.Stats()
+		d.Recorder = &st
+	}
+	if s.cfg.History != nil {
+		st := s.cfg.History.HistoryStats()
+		d.History = &st
+		for _, sp := range sparkSeries {
+			res := s.cfg.History.Query(sp.Series, 0, 0, sp.Agg)
+			if len(res.Series) == 0 {
+				continue
+			}
+			for i := range res.Series {
+				if n := len(res.Series[i].Points); n > sparkPoints {
+					res.Series[i].Points = res.Series[i].Points[n-sparkPoints:]
+				}
+				res.Series[i].Exemplars = nil // charts don't need them
+			}
+			d.Sparks = append(d.Sparks, DashboardSpark{Title: sp.Title, Series: res.Series})
+		}
+	}
+	if s.cfg.Exporter != nil {
+		st := s.cfg.Exporter.Stats()
+		d.Export = &st
+	}
+	return d
+}
+
+// handleDashboard serves GET /debug/dashboard: the unified ops view.
+// ?format=json returns the aggregate as JSON (the machine-readable mode CI
+// and fleet tooling consume); the default is a self-contained HTML page
+// with the same data embedded, so a saved snapshot renders offline.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	d := s.dashboard()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, d)
+		return
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if r.Method == http.MethodHead {
+		return
+	}
+	// json.Marshal escapes "<" to \u003c by default, so a closing
+	// script tag cannot appear inside the inlined JSON and the literal
+	// embeds safely.
+	_, _ = w.Write([]byte(dashboardHTMLHead))
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte(dashboardHTMLTail))
+}
+
+const dashboardHTMLHead = `<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>tteserve ops dashboard</title>
+<style>
+ body{font:13px/1.5 system-ui,sans-serif;margin:1.5em;background:#111;color:#ddd;max-width:1100px}
+ h1{font-size:1.3em} h2{font-size:1em;margin:1.2em 0 .3em;color:#8cf}
+ table{border-collapse:collapse;margin:.3em 0}
+ td,th{border:1px solid #333;padding:.2em .6em;text-align:left}
+ th{background:#1c1c1c} .ok{color:#6d6} .bad{color:#f66}
+ .spark{display:inline-block;margin:.4em 1em .4em 0;vertical-align:top}
+ .spark svg{background:#181818;border:1px solid #333}
+ .muted{color:#888} code{color:#fc6}
+</style></head><body>
+<h1>tteserve ops dashboard</h1>
+<div id="root" class="muted">no data</div>
+<script>const DATA = `
+
+const dashboardHTMLTail = `;
+const root = document.getElementById('root');
+const esc = s => String(s).replace(/[&<>]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;'}[c]));
+const fmt = v => typeof v === 'number' ? (Number.isInteger(v) ? v : v.toPrecision(4)) : v;
+function table(rows) {
+  if (!rows.length) return '<div class="muted">none</div>';
+  const cols = Object.keys(rows[0]);
+  let h = '<table><tr>' + cols.map(c => '<th>'+esc(c)+'</th>').join('') + '</tr>';
+  for (const r of rows) h += '<tr>' + cols.map(c => '<td>'+esc(fmt(r[c] ?? ''))+'</td>').join('') + '</tr>';
+  return h + '</table>';
+}
+function kv(obj) {
+  return table(Object.entries(obj || {}).map(([k, v]) => ({key: k, value: typeof v === 'object' ? JSON.stringify(v) : v})));
+}
+function spark(sp) {
+  const W = 240, H = 60, P = 4;
+  let out = '<div class="spark"><div>'+esc(sp.title)+'</div>';
+  for (const s of sp.series.slice(0, 4)) {
+    const pts = s.points || [];
+    if (pts.length < 2) continue;
+    const vs = pts.map(p => p.v), ts = pts.map(p => p.t);
+    const vmin = Math.min(...vs), vmax = Math.max(...vs), vr = (vmax - vmin) || 1;
+    const tmin = ts[0], tr = (ts[ts.length-1] - tmin) || 1;
+    const path = pts.map((p, i) => (i ? 'L' : 'M') +
+      (P + (p.t - tmin) / tr * (W - 2*P)).toFixed(1) + ',' +
+      (H - P - (p.v - vmin) / vr * (H - 2*P)).toFixed(1)).join('');
+    out += '<svg width="'+W+'" height="'+H+'"><path d="'+path+'" fill="none" stroke="#8cf"/></svg>' +
+      '<div class="muted">'+esc(s.id)+' <span>last '+esc(fmt(vs[vs.length-1]))+'</span></div>';
+  }
+  return out + '</div>';
+}
+function render(d) {
+  let h = '<p>city <code>'+esc(d.city||'?')+'</code> — ' +
+    (d.ready ? '<span class="ok">ready</span>' : '<span class="bad">NOT READY</span>') + '</p>';
+  if (d.sparks && d.sparks.length) { h += '<h2>history</h2>' + d.sparks.map(spark).join(''); }
+  if (d.slo) {
+    h += '<h2>slo</h2>' + table(d.slo.objectives.map(o => ({
+      objective: o.name, target: o.target, sli: o.sli, budget_remaining: o.error_budget_remaining,
+      firing: o.rules.filter(r => r.firing).map(r => r.rule).join(', ') || '-'})));
+  }
+  if (d.alerts) {
+    h += '<h2>alerts firing</h2>' + table((d.alerts.firing||[]).map(a => ({
+      alert: a.name, severity: a.severity, since: a.since, value: a.value})));
+  }
+  if (d.quality) { h += '<h2>quality</h2>' + kv(d.quality.current || d.quality); }
+  if (d.traffic) { h += '<h2>traffic</h2>' + kv(d.traffic); }
+  if (d.recorder) { h += '<h2>flight recorder</h2>' + kv(d.recorder); }
+  if (d.history) { h += '<h2>telemetry history</h2>' + kv(d.history); }
+  if (d.export) { h += '<h2>telemetry export</h2>' + kv(d.export); }
+  if (d.version) { h += '<h2>version</h2>' + kv(d.version); }
+  root.innerHTML = h;
+}
+render(DATA);
+// Live mode: when served (not a saved snapshot), refresh every 10s.
+if (location.protocol.startsWith('http')) {
+  setInterval(() => fetch(location.pathname + '?format=json')
+    .then(r => r.json()).then(render).catch(() => {}), 10000);
+}
+</script></body></html>
+`

@@ -27,6 +27,17 @@
 //	     epoch, errors, minDur, limit); /debug/recorder/segments lists and
 //	     /debug/recorder/segments/<name> downloads on-disk segments (when
 //	     Config.Recorder set)
+//	GET  /debug/metrics/history queryable in-process metric history:
+//	     ?series=&range=&step=&agg= (when Config.History set)
+//	GET  /debug/dashboard unified ops view — SLO, alerts, quality, traffic,
+//	     recorder, telemetry history sparklines — as self-contained HTML, or
+//	     JSON with ?format=json
+//
+// Every /debug/* JSON response is wrapped by a shared envelope: a
+// generated_at timestamp is spliced in as the first field, Content-Type is
+// uniformly application/json, and errors share the {"error": "..."} shape.
+// Non-JSON debug bodies (segment and pprof downloads, dashboard HTML) pass
+// through verbatim.
 //
 // Every route is wrapped with obs.Middleware (request counters by status
 // class, latency histograms, in-flight gauge, request logging), /estimate
@@ -63,6 +74,7 @@ import (
 	"deepod/internal/quality"
 	"deepod/internal/recorder"
 	"deepod/internal/slo"
+	"deepod/internal/telemetry"
 	"deepod/internal/traffic"
 	"deepod/internal/traj"
 )
@@ -162,6 +174,14 @@ type Config struct {
 	// /debug/recorder/segments[/<name>]. Capture itself is wired at the
 	// engine (infer.Config.Flight); the server only exposes it.
 	Recorder *recorder.Recorder
+	// History, when non-nil, serves the telemetry sampler's in-process
+	// time series at GET /debug/metrics/history and feeds the dashboard's
+	// sparklines. The sampler's lifecycle (Start/Close) belongs to the
+	// caller; the server only exposes it.
+	History *telemetry.History
+	// Exporter, when non-nil, surfaces the push exporter's delivery stats
+	// on the dashboard. Lifecycle belongs to the caller.
+	Exporter *telemetry.Exporter
 }
 
 // ProbeSink ingests a parsed probe batch, returning how many probes were
@@ -215,39 +235,44 @@ func New(cfg Config) (*Server, error) {
 	route("/version", s.handleVersion)
 	route("/reload", s.handleReload)
 	s.mux.Handle("/metrics", s.reg.Handler())
+	// Debug routes are served outside the obs middleware — inspecting the
+	// process should not show up in request metrics or create traces — but
+	// wrapped in envelope() so every JSON response carries generated_at and
+	// the uniform error shape. Raw bodies (segment/pprof downloads, the
+	// dashboard HTML) pass through the envelope untouched.
 	if cfg.Traces != nil {
-		// Served raw like /metrics: reading traces should not create them.
-		s.mux.Handle("/debug/traces", cfg.Traces.Handler())
+		s.mux.Handle("/debug/traces", envelope(cfg.Traces.Handler()))
 	}
 	if cfg.Quality != nil {
-		// Raw for the same reason as /metrics and /debug/traces.
-		s.mux.Handle("/debug/quality", cfg.Quality.Handler())
+		s.mux.Handle("/debug/quality", envelope(cfg.Quality.Handler()))
 	}
 	if cfg.SLO != nil {
-		s.mux.Handle("/debug/slo", cfg.SLO.Handler())
+		s.mux.Handle("/debug/slo", envelope(cfg.SLO.Handler()))
 	}
 	if cfg.Alerts != nil {
-		s.mux.Handle("/debug/alerts", cfg.Alerts.Handler())
+		s.mux.Handle("/debug/alerts", envelope(cfg.Alerts.Handler()))
 	}
 	if cfg.Profiles != nil {
 		// The trailing-slash pattern also routes the per-capture download
 		// paths (/debug/profiles/<id>/<kind>) to the profiler.
-		h := cfg.Profiles.Handler()
+		h := envelope(cfg.Profiles.Handler())
 		s.mux.Handle("/debug/profiles", h)
 		s.mux.Handle("/debug/profiles/", h)
 	}
 	if cfg.TrafficStatus != nil {
-		// Raw like the other debug routes: inspecting the traffic store
-		// should not show up in request metrics.
-		s.mux.HandleFunc("/debug/traffic", s.handleTrafficDebug)
+		s.mux.Handle("/debug/traffic", envelope(http.HandlerFunc(s.handleTrafficDebug)))
 	}
 	if cfg.Recorder != nil {
 		// The trailing-slash pattern also routes the segment paths
 		// (/debug/recorder/segments/<name>) to the recorder.
-		h := cfg.Recorder.Handler()
+		h := envelope(cfg.Recorder.Handler())
 		s.mux.Handle("/debug/recorder", h)
 		s.mux.Handle("/debug/recorder/", h)
 	}
+	if cfg.History != nil {
+		s.mux.Handle("/debug/metrics/history", envelope(cfg.History.Handler()))
+	}
+	s.mux.Handle("/debug/dashboard", envelope(http.HandlerFunc(s.handleDashboard)))
 	return s, nil
 }
 

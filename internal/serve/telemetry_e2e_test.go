@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deepod/internal/obs"
+	"deepod/internal/telemetry"
+	"deepod/internal/traj"
+)
+
+func TestEnvelopeStampsJSON(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"answer":42}`))
+	})
+	rec := httptest.NewRecorder()
+	envelope(inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.HasPrefix(body, `{"generated_at":"`) {
+		t.Fatalf("generated_at is not the first field: %s", body)
+	}
+	var out struct {
+		GeneratedAt time.Time `json:"generated_at"`
+		Answer      int       `json:"answer"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Answer != 42 || out.GeneratedAt.IsZero() {
+		t.Fatalf("envelope mangled the payload: %+v", out)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+func TestEnvelopePassesRawBodiesThrough(t *testing.T) {
+	raw := []byte("raw pprof bytes \x00\x01 not json")
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="cpu.pb.gz"`)
+		_, _ = w.Write(raw)
+	})
+	rec := httptest.NewRecorder()
+	envelope(inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Body.String() != string(raw) {
+		t.Fatalf("raw body altered: %q", rec.Body.String())
+	}
+	if got := rec.Header().Get("Content-Disposition"); !strings.Contains(got, "cpu.pb.gz") {
+		t.Fatalf("headers not replayed: %q", got)
+	}
+}
+
+func TestEnvelopeNormalizesErrors(t *testing.T) {
+	// http.Error-style plain text becomes the uniform JSON error shape.
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such segment", http.StatusNotFound)
+	})
+	rec := httptest.NewRecorder()
+	envelope(inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out struct {
+		GeneratedAt time.Time `json:"generated_at"`
+		Error       string    `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("error body is not JSON: %v: %s", err, rec.Body)
+	}
+	if out.Error != "no such segment" || out.GeneratedAt.IsZero() {
+		t.Fatalf("normalized error = %+v", out)
+	}
+
+	// A handler that already writes JSON errors keeps its shape, stamped.
+	jsonErr := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusBadRequest, "bad agg")
+	})
+	rec = httptest.NewRecorder()
+	envelope(jsonErr).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != "bad agg" || out.GeneratedAt.IsZero() {
+		t.Fatalf("stamped JSON error = %+v", out)
+	}
+}
+
+func TestDebugRoutesCarryGeneratedAt(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		City:     "env-city",
+		Match:    func(_ context.Context, od traj.ODInput) (traj.MatchedOD, error) { return traj.MatchedOD{}, nil },
+		Estimate: func(context.Context, *traj.MatchedOD) float64 { return 1 },
+		Registry: reg,
+		TrafficStatus: func() map[string]any {
+			return map[string]any{"probes_accepted": 7}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traffic", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		GeneratedAt    time.Time `json:"generated_at"`
+		ProbesAccepted int       `json:"probes_accepted"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.GeneratedAt.IsZero() || out.ProbesAccepted != 7 {
+		t.Fatalf("enveloped traffic payload = %+v", out)
+	}
+}
+
+// exportSink is an in-process OTLP-shaped collector.
+type exportSink struct {
+	mu     sync.Mutex
+	bodies [][]byte
+}
+
+func (s *exportSink) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		s.mu.Lock()
+		s.bodies = append(s.bodies, body)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func (s *exportSink) all() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []byte
+	for _, b := range s.bodies {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestTelemetryEndToEnd drives the full telemetry loop through the HTTP
+// layer: traced /estimate requests record exemplars on the route latency
+// histogram, the history sampler harvests them into queryable series, the
+// exemplar's trace ID resolves to the retained trace in /debug/traces,
+// the push exporter delivers the history to an in-process sink, and the
+// dashboard aggregates all of it in JSON and HTML modes.
+func TestTelemetryEndToEnd(t *testing.T) {
+	obs.SetExemplars(true)
+	defer obs.SetExemplars(false)
+
+	reg := obs.NewRegistry()
+	ts := obs.NewTraceStore(reg, obs.TraceStoreConfig{SlowestN: -1, SampleRate: 1, Seed: 1})
+
+	now := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	hist, err := telemetry.NewHistory(telemetry.Config{
+		Interval: 10 * time.Second,
+		Source:   reg,
+		Registry: obs.NewRegistry(),
+		Now:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &exportSink{}
+	sinkSrv := httptest.NewServer(sink.handler())
+	defer sinkSrv.Close()
+	exp, err := telemetry.NewExporter(telemetry.ExportConfig{
+		Endpoint: sinkSrv.URL,
+		Interval: time.Hour, // collected by hand below
+		History:  hist,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Start()
+	defer exp.Close()
+
+	s, err := New(Config{
+		City: "telemetry-city",
+		Match: func(_ context.Context, od traj.ODInput) (traj.MatchedOD, error) {
+			return traj.MatchedOD{DepartSec: od.DepartSec}, nil
+		},
+		Estimate: func(context.Context, *traj.MatchedOD) float64 { return 42 },
+		Registry: reg,
+		Traces:   ts,
+		History:  hist,
+		Exporter: exp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	estimate := func(traceID string) {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodPost, "/estimate",
+			strings.NewReader(`{"origin":{"X":1,"Y":2},"dest":{"X":3,"Y":4},"depart_sec":600}`))
+		if traceID != "" {
+			req.Header.Set("X-Trace-Id", traceID)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("estimate = %d: %s", rec.Code, rec.Body)
+		}
+	}
+
+	const traceID = "feedfacecafebeef"
+	estimate(traceID)
+	hist.Tick()
+	advance(10 * time.Second)
+	estimate("")
+	hist.Tick()
+
+	// History query over the route latency p99 carries the exemplar.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/debug/metrics/history?series=tte_http_request_seconds:p99", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("history query = %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.HasPrefix(rec.Body.String(), `{"generated_at":"`) {
+		t.Fatalf("history response not enveloped: %s", rec.Body)
+	}
+	var hres telemetry.QueryResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &hres); err != nil {
+		t.Fatal(err)
+	}
+	if len(hres.Series) != 1 {
+		t.Fatalf("p99 series = %+v", hres.Series)
+	}
+	var got string
+	for _, ex := range hres.Series[0].Exemplars {
+		if ex.TraceID == traceID {
+			got = ex.TraceID
+		}
+	}
+	if got == "" {
+		t.Fatalf("exemplar with trace %s not in history response: %+v",
+			traceID, hres.Series[0].Exemplars)
+	}
+
+	// ... and that trace ID resolves in /debug/traces.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces?trace="+got, nil))
+	var tres struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Route   string `json:"route"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tres); err != nil {
+		t.Fatal(err)
+	}
+	if tres.Count != 1 || tres.Traces[0].TraceID != traceID || tres.Traces[0].Route != "/estimate" {
+		t.Fatalf("trace lookup = %+v", tres)
+	}
+
+	// The exporter pushes the sampled history to the sink.
+	exp.Collect()
+	deadline := time.After(5 * time.Second)
+	for exp.Stats().BatchesOK == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("export never delivered: %+v", exp.Stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	exported := string(sink.all())
+	for _, want := range []string{"resourceMetrics", "tte_http_requests_total", "tte_http_request_seconds:p99"} {
+		if !strings.Contains(exported, want) {
+			t.Fatalf("exported batches missing %q", want)
+		}
+	}
+
+	// Dashboard JSON aggregates history + export state.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/dashboard?format=json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("dashboard json = %d: %s", rec.Code, rec.Body)
+	}
+	var dash struct {
+		GeneratedAt time.Time              `json:"generated_at"`
+		City        string                 `json:"city"`
+		History     *telemetry.Stats       `json:"history"`
+		Export      *telemetry.ExportStats `json:"export"`
+		Sparks      []DashboardSpark       `json:"sparks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dash); err != nil {
+		t.Fatal(err)
+	}
+	if dash.City != "telemetry-city" || dash.GeneratedAt.IsZero() {
+		t.Fatalf("dashboard = %+v", dash)
+	}
+	if dash.History == nil || dash.History.Series == 0 {
+		t.Fatalf("dashboard history stats = %+v", dash.History)
+	}
+	if dash.Export == nil || dash.Export.BatchesOK == 0 {
+		t.Fatalf("dashboard export stats = %+v", dash.Export)
+	}
+	if len(dash.Sparks) == 0 {
+		t.Fatalf("dashboard has no sparklines")
+	}
+
+	// HTML mode is self-contained: the data is embedded in the page.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/dashboard", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("dashboard html = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("dashboard Content-Type = %q", ct)
+	}
+	page := rec.Body.String()
+	for _, want := range []string{"tteserve ops dashboard", "const DATA = {", "telemetry-city", "</html>"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("dashboard page missing %q", want)
+		}
+	}
+	if strings.Contains(page[strings.Index(page, "const DATA"):strings.Index(page, "const root")], "</script>") {
+		t.Fatal("embedded JSON can break out of its script tag")
+	}
+}
+
+func TestDashboardMethodAndErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/dashboard", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST dashboard = %d", rec.Code)
+	}
+	var out struct {
+		GeneratedAt time.Time `json:"generated_at"`
+		Error       string    `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("error not enveloped JSON: %v: %s", err, rec.Body)
+	}
+	if out.Error == "" || out.GeneratedAt.IsZero() {
+		t.Fatalf("enveloped error = %+v", out)
+	}
+
+	// Without History/Exporter the dashboard still renders the basics.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/dashboard?format=json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("minimal dashboard = %d: %s", rec.Code, rec.Body)
+	}
+	var dash map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &dash); err != nil {
+		t.Fatal(err)
+	}
+	if dash["city"] != "test-city" {
+		t.Fatalf("minimal dashboard = %v", dash)
+	}
+	if _, ok := dash["history"]; ok {
+		t.Fatal("unwired history present in dashboard")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"deepod/internal/obs"
+	"deepod/internal/telemetry"
 )
 
 // Config assembles an Evaluator.
@@ -42,46 +43,28 @@ type Config struct {
 	Now func() time.Time
 }
 
-// point is one cumulative (good, total) observation.
+// point is one cumulative (good, total) observation. The history itself
+// lives in a telemetry.Ring — the same bounded ring the metric history
+// sampler uses, replacing the private ring this package once grew.
 type point struct {
 	t           time.Time
 	good, total float64
 }
 
-// ring is a bounded circular buffer of points, oldest first.
-type ring struct {
-	buf  []point
-	head int // index of oldest
-	n    int
-}
-
-func (r *ring) push(p point) {
-	if r.n < len(r.buf) {
-		r.buf[(r.head+r.n)%len(r.buf)] = p
-		r.n++
-		return
-	}
-	r.buf[r.head] = p
-	r.head = (r.head + 1) % len(r.buf)
-}
-
-// at returns the ring's i-th point, oldest first.
-func (r *ring) at(i int) point { return r.buf[(r.head+i)%len(r.buf)] }
-
 // before returns the newest point with t <= cutoff, or the oldest point
 // when every retained point is newer (young history: burn-since-oldest).
 // ok is false only when the ring is empty.
-func (r *ring) before(cutoff time.Time) (point, bool) {
-	if r.n == 0 {
+func before(r *telemetry.Ring[point], cutoff time.Time) (point, bool) {
+	if r.Len() == 0 {
 		return point{}, false
 	}
 	// Points are appended in time order; scan back from the newest.
-	for i := r.n - 1; i >= 0; i-- {
-		if p := r.at(i); !p.t.After(cutoff) {
+	for i := r.Len() - 1; i >= 0; i-- {
+		if p := r.At(i); !p.t.After(cutoff) {
 			return p, true
 		}
 	}
-	return r.at(0), true
+	return r.At(0), true
 }
 
 // ruleState tracks one (objective, rule) alert's evaluation results.
@@ -94,7 +77,7 @@ type ruleState struct {
 // objectiveState is one objective's live evaluation record.
 type objectiveState struct {
 	obj       Objective
-	hist      *ring
+	hist      *telemetry.Ring[point]
 	rules     []ruleState
 	good      float64 // cumulative at last eval
 	total     float64
@@ -196,7 +179,7 @@ func New(cfg Config) (*Evaluator, error) {
 		o := cfg.Objectives[i]
 		st := &objectiveState{
 			obj:       o,
-			hist:      &ring{buf: make([]point, cfg.MaxPoints)},
+			hist:      telemetry.NewRing[point](cfg.MaxPoints),
 			rules:     make([]ruleState, len(cfg.Rules)),
 			sli:       math.NaN(),
 			remaining: math.NaN(),
@@ -276,7 +259,7 @@ func (e *Evaluator) Tick() {
 	e.last = now
 	for _, st := range e.objs {
 		st.good, st.total = st.obj.measure(samples)
-		st.hist.push(point{t: now, good: st.good, total: st.total})
+		st.hist.Push(point{t: now, good: st.good, total: st.total})
 
 		budget := 1 - st.obj.Target
 		var longest time.Duration
@@ -319,7 +302,7 @@ func (e *Evaluator) Tick() {
 
 		// SLI and budget over the longest window.
 		st.sli, st.remaining = math.NaN(), math.NaN()
-		if p, ok := st.hist.before(now.Add(-longest)); ok {
+		if p, ok := before(st.hist, now.Add(-longest)); ok {
 			dTotal := st.total - p.total
 			if dTotal > 0 {
 				st.sli = (st.good - p.good) / dTotal
@@ -342,7 +325,7 @@ func (e *Evaluator) Tick() {
 // the window's bad fraction divided by the budget. No traffic in the
 // window burns nothing — idle services do not page.
 func (e *Evaluator) burnOver(st *objectiveState, now time.Time, window time.Duration, budget float64) float64 {
-	p, ok := st.hist.before(now.Add(-window))
+	p, ok := before(st.hist, now.Add(-window))
 	if !ok {
 		return 0
 	}

@@ -1,0 +1,396 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"deepod/internal/obs"
+)
+
+// ExportConfig assembles an Exporter.
+type ExportConfig struct {
+	// Endpoint is the collector URL batches are POSTed to. Required.
+	Endpoint string
+	// Interval is the collection period (default 15s).
+	Interval time.Duration
+	// Timeout bounds each POST (default 5s).
+	Timeout time.Duration
+	// QueueBatches bounds the send queue (default 8). When the sink is
+	// slower than collection the OLDEST queued batch is shed — fresh
+	// telemetry beats stale telemetry — and the shed is counted in
+	// tte_telemetry_export_batches_total{result="dropped"}.
+	QueueBatches int
+	// MaxAttempts bounds tries per batch including the first (default 5);
+	// a batch exhausting them is counted failed and dropped.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential retry backoff
+	// (defaults 250ms and 10s); each sleep is jittered ±50%.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Service names the process in the OTLP resource (default "tteserve").
+	Service string
+	// Instance distinguishes processes (optional; e.g. host:port).
+	Instance string
+	// History is the sampler batches are drained from. Required.
+	History *History
+	// Registry receives tte_telemetry_export_* self-metrics (default the
+	// History's registry).
+	Registry *obs.Registry
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// Logger receives lifecycle lines (nil logs nowhere).
+	Logger *slog.Logger
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// Exporter ships history deltas to a collector: a collect goroutine drains
+// CollectSince on an interval into a bounded queue, and a sender goroutine
+// POSTs OTLP-shaped JSON with exponential backoff + jitter. Both shed
+// rather than block — a down collector costs dropped batches (counted),
+// never memory growth or a stuck serve path.
+type Exporter struct {
+	cfg ExportConfig
+	now func() time.Time
+
+	queue chan exportBatch
+
+	stop    chan struct{}
+	done    chan struct{}
+	startMu sync.Mutex
+	started bool
+
+	mu      sync.Mutex
+	cursor  int64
+	lastErr string
+
+	batchesOK   *obs.Counter
+	batchesFail *obs.Counter
+	batchesDrop *obs.Counter
+	points      *obs.Counter
+	retries     *obs.Counter
+	queueDepth  *obs.Gauge
+	lastOK      *obs.Gauge
+}
+
+type exportBatch struct {
+	body   []byte
+	points int
+}
+
+// NewExporter validates cfg and builds an Exporter (not yet running).
+func NewExporter(cfg ExportConfig) (*Exporter, error) {
+	if cfg.Endpoint == "" {
+		return nil, fmt.Errorf("telemetry: ExportConfig.Endpoint is empty")
+	}
+	if cfg.History == nil {
+		return nil, fmt.Errorf("telemetry: ExportConfig.History is nil")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.QueueBatches <= 0 {
+		cfg.QueueBatches = 8
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 250 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.Service == "" {
+		cfg.Service = "tteserve"
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = cfg.History.cfg.Registry
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.Timeout}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	reg := cfg.Registry
+	reg.Help("tte_telemetry_export_batches_total", "Export batches by result (ok, failed, dropped).")
+	reg.Help("tte_telemetry_export_points_total", "History points delivered to the collector.")
+	reg.Help("tte_telemetry_export_retries_total", "Export POST retries.")
+	reg.Help("tte_telemetry_export_queue", "Export batches waiting to be sent.")
+	reg.Help("tte_telemetry_export_last_success_unix", "Wall time of the last accepted batch.")
+	return &Exporter{
+		cfg:         cfg,
+		now:         cfg.Now,
+		queue:       make(chan exportBatch, cfg.QueueBatches),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		batchesOK:   reg.Counter("tte_telemetry_export_batches_total", "result", "ok"),
+		batchesFail: reg.Counter("tte_telemetry_export_batches_total", "result", "failed"),
+		batchesDrop: reg.Counter("tte_telemetry_export_batches_total", "result", "dropped"),
+		points:      reg.Counter("tte_telemetry_export_points_total"),
+		retries:     reg.Counter("tte_telemetry_export_retries_total"),
+		queueDepth:  reg.Gauge("tte_telemetry_export_queue"),
+		lastOK:      reg.Gauge("tte_telemetry_export_last_success_unix"),
+	}, nil
+}
+
+// Start launches the collect and send loops. Safe to call once.
+func (x *Exporter) Start() {
+	x.startMu.Lock()
+	defer x.startMu.Unlock()
+	if x.started {
+		return
+	}
+	x.started = true
+	if x.cfg.Logger != nil {
+		x.cfg.Logger.Info("telemetry exporter running",
+			"endpoint", x.cfg.Endpoint, "interval", x.cfg.Interval,
+			"queue", x.cfg.QueueBatches)
+	}
+	senderDone := make(chan struct{})
+	go func() { // sender
+		defer close(senderDone)
+		for {
+			select {
+			case <-x.stop:
+				return
+			case b := <-x.queue:
+				x.queueDepth.Set(float64(len(x.queue)))
+				x.send(b)
+			}
+		}
+	}()
+	go func() { // collector
+		defer close(x.done)
+		defer func() { <-senderDone }()
+		tick := time.NewTicker(x.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				x.Collect()
+			case <-x.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops both loops and returns once they have exited (idempotent).
+// Queued batches are abandoned — shutdown never blocks on a dead sink.
+func (x *Exporter) Close() {
+	x.startMu.Lock()
+	defer x.startMu.Unlock()
+	if !x.started {
+		return
+	}
+	x.started = false
+	close(x.stop)
+	<-x.done
+	x.stop = make(chan struct{})
+	x.done = make(chan struct{})
+}
+
+// Collect drains history points past the cursor and enqueues one batch,
+// shedding the oldest queued batch when the queue is full. Exposed for
+// tests and the serving benchmark; the collect loop calls it on Interval.
+func (x *Exporter) Collect() {
+	x.mu.Lock()
+	deltas, next := x.cfg.History.CollectSince(x.cursor)
+	x.cursor = next
+	x.mu.Unlock()
+	if len(deltas) == 0 {
+		return
+	}
+	body, n := x.encode(deltas)
+	b := exportBatch{body: body, points: n}
+	for {
+		select {
+		case x.queue <- b:
+			x.queueDepth.Set(float64(len(x.queue)))
+			return
+		default:
+		}
+		select {
+		case <-x.queue:
+			// Shed the oldest batch to make room for the fresh one.
+			x.batchesDrop.Inc()
+		default:
+		}
+	}
+}
+
+// send POSTs one batch with bounded retries and jittered exponential
+// backoff, abandoning it (counted failed) after MaxAttempts or on Close.
+func (x *Exporter) send(b exportBatch) {
+	backoff := x.cfg.BackoffBase
+	for attempt := 1; ; attempt++ {
+		err := x.post(b.body)
+		if err == nil {
+			x.batchesOK.Inc()
+			x.points.Add(uint64(b.points))
+			x.lastOK.Set(float64(x.now().Unix()))
+			x.mu.Lock()
+			x.lastErr = ""
+			x.mu.Unlock()
+			return
+		}
+		x.mu.Lock()
+		x.lastErr = err.Error()
+		x.mu.Unlock()
+		if attempt >= x.cfg.MaxAttempts {
+			x.batchesFail.Inc()
+			if x.cfg.Logger != nil {
+				x.cfg.Logger.Warn("telemetry export batch abandoned",
+					"attempts", attempt, "err", err)
+			}
+			return
+		}
+		x.retries.Inc()
+		sleep := time.Duration(float64(backoff) * (0.5 + rand.Float64()))
+		if backoff *= 2; backoff > x.cfg.BackoffMax {
+			backoff = x.cfg.BackoffMax
+		}
+		t := time.NewTimer(sleep)
+		select {
+		case <-x.stop:
+			t.Stop()
+			x.batchesFail.Inc()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (x *Exporter) post(body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, x.cfg.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := x.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// encode renders deltas as one OTLP-shaped JSON document (resourceMetrics
+// → scopeMetrics → metrics, sums for counters and gauges for gauges, with
+// label attributes and nanosecond timestamps) and returns it with the
+// point count.
+func (x *Exporter) encode(deltas []SeriesDelta) ([]byte, int) {
+	attr := func(k, v string) map[string]any {
+		return map[string]any{"key": k, "value": map[string]any{"stringValue": v}}
+	}
+	resource := []map[string]any{attr("service.name", x.cfg.Service)}
+	if x.cfg.Instance != "" {
+		resource = append(resource, attr("service.instance.id", x.cfg.Instance))
+	}
+
+	// Group series by metric name, preserving first-seen order.
+	var names []string
+	byName := map[string][]SeriesDelta{}
+	for _, d := range deltas {
+		if _, ok := byName[d.Name]; !ok {
+			names = append(names, d.Name)
+		}
+		byName[d.Name] = append(byName[d.Name], d)
+	}
+
+	var metrics []map[string]any
+	points := 0
+	for _, name := range names {
+		group := byName[name]
+		var dps []map[string]any
+		for _, d := range group {
+			var attrs []map[string]any
+			for i := 0; i+1 < len(d.Labels); i += 2 {
+				attrs = append(attrs, attr(d.Labels[i], d.Labels[i+1]))
+			}
+			for _, p := range d.Points {
+				dp := map[string]any{
+					"timeUnixNano": strconv.FormatInt(p.T*int64(time.Second), 10),
+					"asDouble":     p.V,
+				}
+				if len(attrs) > 0 {
+					dp["attributes"] = attrs
+				}
+				dps = append(dps, dp)
+				points++
+			}
+		}
+		m := map[string]any{"name": name}
+		if group[0].Kind == "counter" {
+			m["sum"] = map[string]any{
+				"isMonotonic": true,
+				// 2 = cumulative: points carry since-start totals.
+				"aggregationTemporality": 2,
+				"dataPoints":             dps,
+			}
+		} else {
+			m["gauge"] = map[string]any{"dataPoints": dps}
+		}
+		metrics = append(metrics, m)
+	}
+
+	doc := map[string]any{
+		"resourceMetrics": []map[string]any{{
+			"resource": map[string]any{"attributes": resource},
+			"scopeMetrics": []map[string]any{{
+				"scope":   map[string]any{"name": "deepod/internal/telemetry"},
+				"metrics": metrics,
+			}},
+		}},
+	}
+	body, _ := json.Marshal(doc)
+	return body, points
+}
+
+// ExportStats summarizes the exporter for the ops dashboard.
+type ExportStats struct {
+	Endpoint        string  `json:"endpoint"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCap        int     `json:"queue_cap"`
+	BatchesOK       uint64  `json:"batches_ok"`
+	BatchesFailed   uint64  `json:"batches_failed"`
+	BatchesDropped  uint64  `json:"batches_dropped"`
+	PointsExported  uint64  `json:"points_exported"`
+	Retries         uint64  `json:"retries"`
+	LastSuccessUnix float64 `json:"last_success_unix"`
+	LastError       string  `json:"last_error,omitempty"`
+}
+
+// Stats snapshots the exporter's counters.
+func (x *Exporter) Stats() ExportStats {
+	x.mu.Lock()
+	lastErr := x.lastErr
+	x.mu.Unlock()
+	return ExportStats{
+		Endpoint:        x.cfg.Endpoint,
+		QueueDepth:      len(x.queue),
+		QueueCap:        cap(x.queue),
+		BatchesOK:       x.batchesOK.Value(),
+		BatchesFailed:   x.batchesFail.Value(),
+		BatchesDropped:  x.batchesDrop.Value(),
+		PointsExported:  x.points.Value(),
+		Retries:         x.retries.Value(),
+		LastSuccessUnix: x.lastOK.Value(),
+		LastError:       lastErr,
+	}
+}

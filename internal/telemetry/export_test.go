@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepod/internal/obs"
+)
+
+// sink is an in-process collector recording every accepted batch. fail,
+// while set, rejects POSTs with 503 — the flapping-collector lever.
+type sink struct {
+	mu       sync.Mutex
+	bodies   [][]byte
+	fail     atomic.Bool
+	hits     atomic.Int64
+	failures atomic.Int64
+}
+
+func (s *sink) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		if s.fail.Load() {
+			s.failures.Add(1)
+			http.Error(w, "unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		s.mu.Lock()
+		s.bodies = append(s.bodies, body)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func (s *sink) batches() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.bodies...)
+}
+
+// metricNames flattens an OTLP-shaped batch into its metric names.
+func metricNames(t *testing.T, body []byte) map[string]bool {
+	t.Helper()
+	var doc struct {
+		ResourceMetrics []struct {
+			ScopeMetrics []struct {
+				Metrics []struct {
+					Name  string          `json:"name"`
+					Sum   json.RawMessage `json:"sum"`
+					Gauge json.RawMessage `json:"gauge"`
+				} `json:"metrics"`
+			} `json:"scopeMetrics"`
+		} `json:"resourceMetrics"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("batch is not OTLP-shaped JSON: %v\n%s", err, body)
+	}
+	names := map[string]bool{}
+	for _, rm := range doc.ResourceMetrics {
+		for _, sm := range rm.ScopeMetrics {
+			for _, m := range sm.Metrics {
+				if m.Sum == nil && m.Gauge == nil {
+					t.Fatalf("metric %s has neither sum nor gauge", m.Name)
+				}
+				names[m.Name] = true
+			}
+		}
+	}
+	return names
+}
+
+func newTestExporter(t *testing.T, h *History, endpoint string, cfg ExportConfig) *Exporter {
+	t.Helper()
+	cfg.Endpoint = endpoint
+	cfg.History = h
+	cfg.Registry = obs.NewRegistry()
+	x, err := NewExporter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestExporterRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("tte_rt_requests_total", "route", "/estimate").Add(7)
+	reg.Gauge("tte_rt_depth").Set(3)
+	reg.Histogram("tte_rt_seconds", []float64{1}).Observe(0.5)
+
+	h, clk := newTestHistory(t, reg, Config{Interval: 10 * time.Second})
+	h.Tick()
+	clk.advance(10 * time.Second)
+	reg.Counter("tte_rt_requests_total", "route", "/estimate").Add(7)
+	h.Tick()
+
+	sk := &sink{}
+	srv := httptest.NewServer(sk.handler())
+	defer srv.Close()
+
+	x := newTestExporter(t, h, srv.URL, ExportConfig{Interval: time.Hour})
+	x.Start()
+	x.Collect() // drain both ticks now rather than waiting for the interval
+	deadline := time.After(5 * time.Second)
+	for x.Stats().BatchesOK == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("batch never delivered: %+v", x.Stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	x.Close()
+
+	got := sk.batches()
+	if len(got) == 0 {
+		t.Fatal("sink saw no batches")
+	}
+	names := metricNames(t, got[0])
+	for _, want := range []string{
+		"tte_rt_requests_total", "tte_rt_depth",
+		"tte_rt_seconds:count", "tte_rt_seconds:p50",
+	} {
+		if !names[want] {
+			t.Fatalf("batch missing series %s (got %v)", want, names)
+		}
+	}
+	st := x.Stats()
+	if st.PointsExported == 0 || st.BatchesFailed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Cursor advanced: nothing new → no new batch.
+	x.Collect()
+	if got := x.Stats().QueueDepth; got != 0 {
+		t.Fatalf("queue depth after no-op collect = %d", got)
+	}
+}
+
+// TestExporterFlappingSink drives the exporter against a collector that
+// alternates between down and up while collection keeps producing batches
+// faster than a down sink can absorb: retries and backoff kick in, the
+// bounded queue sheds oldest-first with drops counted, delivery resumes
+// when the sink heals, and Close joins both goroutines (run under -race;
+// a leak would keep the race build's goroutine checker busy forever).
+func TestExporterFlappingSink(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("tte_flap_total")
+	h, clk := newTestHistory(t, reg, Config{Interval: time.Second})
+
+	sk := &sink{}
+	srv := httptest.NewServer(sk.handler())
+	defer srv.Close()
+
+	x := newTestExporter(t, h, srv.URL, ExportConfig{
+		Interval:     time.Hour, // ticked by hand below
+		QueueBatches: 2,
+		MaxAttempts:  2,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   4 * time.Millisecond,
+	})
+	x.Start()
+
+	sk.fail.Store(true)
+	for i := 0; i < 12; i++ {
+		c.Add(1)
+		h.Tick()
+		clk.advance(time.Second)
+		x.Collect()
+	}
+	// Sink down: retries happened, batches failed or were shed, nothing
+	// delivered, queue stayed within its bound.
+	deadline := time.After(5 * time.Second)
+	for x.Stats().BatchesFailed == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("no failed batches against a down sink: %+v", x.Stats())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	st := x.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("no retries recorded: %+v", st)
+	}
+	if st.QueueDepth > st.QueueCap {
+		t.Fatalf("queue overflowed its bound: %+v", st)
+	}
+	if st.BatchesOK != 0 {
+		t.Fatalf("down sink accepted batches: %+v", st)
+	}
+	if st.LastError == "" {
+		t.Fatalf("no last error recorded: %+v", st)
+	}
+
+	// Sink heals: delivery resumes.
+	sk.fail.Store(false)
+	c.Add(1)
+	h.Tick()
+	clk.advance(time.Second)
+	x.Collect()
+	deadline = time.After(5 * time.Second)
+	for x.Stats().BatchesOK == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("delivery never resumed: %+v", x.Stats())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	x.Close()
+	x.Close() // idempotent
+
+	final := x.Stats()
+	if final.BatchesDropped == 0 && final.BatchesFailed == 0 {
+		t.Fatalf("flap left no drop/fail evidence: %+v", final)
+	}
+	if sk.failures.Load() == 0 {
+		t.Fatal("sink never rejected a POST")
+	}
+}
+
+func TestExporterConfigValidation(t *testing.T) {
+	h, _ := newTestHistory(t, obs.NewRegistry(), Config{})
+	if _, err := NewExporter(ExportConfig{History: h}); err == nil {
+		t.Fatal("empty endpoint accepted")
+	}
+	if _, err := NewExporter(ExportConfig{Endpoint: "http://x"}); err == nil {
+		t.Fatal("nil history accepted")
+	}
+}

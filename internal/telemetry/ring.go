@@ -1,0 +1,57 @@
+// Package telemetry turns the point-in-time observability surfaces
+// (internal/obs metrics, the trace store) into an operable history: a
+// sampler that ticks the registry into per-series bounded rings with a raw
+// and a downsampled tier, a query endpoint for dashboards, and a push
+// exporter that ships history deltas to a central collector. Everything is
+// stdlib-only and bounded — a process retains a fixed memory budget of
+// history no matter how long it runs or how hot it is scraped.
+package telemetry
+
+// Ring is a bounded circular buffer, oldest first. It replaces the private
+// point rings that grew independently inside the SLO evaluator — every
+// bounded history in the repo (SLO burn windows, metric history tiers,
+// exemplar rings) shares this one implementation. Not safe for concurrent
+// use; callers guard it with their own lock.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of oldest
+	n    int
+}
+
+// NewRing returns a ring holding at most capacity elements (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Push appends v, evicting the oldest element when full.
+func (r *Ring[T]) Push(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Len returns the number of retained elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// At returns the i-th retained element, oldest first. i must be in
+// [0, Len()).
+func (r *Ring[T]) At(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+
+// Slice returns the retained elements oldest first, as a fresh slice.
+func (r *Ring[T]) Slice() []T {
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}

@@ -23,7 +23,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/... ./internal/recorder/... ./internal/replay/...
+go test -race ./internal/obs/... ./internal/serve/... ./internal/metrics/... ./internal/infer/... ./internal/mapmatch/... ./internal/quality/... ./internal/slo/... ./internal/prof/... ./internal/traffic/... ./internal/recorder/... ./internal/replay/... ./internal/telemetry/...
 go test -race -run 'ConcurrentSafe|Trace|Parallel' ./internal/core/
 go test -race -run 'Parallel' ./internal/embed/
 
@@ -41,6 +41,9 @@ go test -run 'TestTrafficDisabledOverhead' ./internal/infer/
 
 echo "== flight-recorder gate (disabled wide-event capture overhead)"
 go test -run 'TestFlightDisabledOverhead' ./internal/infer/
+
+echo "== telemetry gate (disabled exemplar-path histogram overhead)"
+go test -run 'TestTelemetryDisabledOverhead' ./internal/obs/
 
 echo "== bench smoke (internal/infer + internal/obs spans)"
 go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
