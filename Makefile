@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the PR gate (see scripts/check.sh).
 
-.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench trainbench ingestbench flightbench replaybench telemetrybench
+.PHONY: build test check race fmt bench tracebench qualitybench slobench servebench batchsweep trainbench ingestbench flightbench replaybench telemetrybench
 
 build:
 	go build ./...
@@ -34,7 +34,11 @@ slobench:
 	go test -run '^$$' -bench 'BenchmarkEvaluatorTick|BenchmarkManagerSet' ./internal/slo/
 
 servebench:
-	go run ./cmd/ttebench -servebench -servebench-telemetry-gate 3
+	go run ./cmd/ttebench -servebench -servebench-telemetry-gate 3 -servebench-fused-gate 1.02
+
+batchsweep:
+	go run ./cmd/ttebench -servebench -servebench-batch-only -servebench-fused-gate 1.02 \
+		-servebench-out BENCH_serve_sweep.json
 
 trainbench:
 	go run ./cmd/ttebench -trainbench -trainbench-gate 2

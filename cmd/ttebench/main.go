@@ -25,6 +25,12 @@
 // -servebench-telemetry-gate fails the run when the telemetry stack costs
 // more than the given % of bare-engine QPS (>= 4-CPU machines only);
 // -servebench-dashboard-out writes the rendered /debug/dashboard HTML.
+// The run ends with an uncached QPS-vs-MaxBatch sweep (1/4/16/64, fused
+// [B×d] forward vs a per-sample matvec baseline); -servebench-fused-gate
+// fails the run when the fused forward is below the given × matvec
+// throughput at MaxBatch 16 (>= 4-CPU machines only), and
+// -servebench-batch-only runs just that sweep — the shape scripts/check.sh
+// uses.
 //
 // With -ingestbench, ttebench measures the live-traffic pipeline: a
 // citysim-generated GPS probe firehose is replayed through incremental map
@@ -70,6 +76,8 @@ func main() {
 		sbProfileDir  = flag.String("servebench-profile-dir", "", "write profiles captured during the alert-spike scenario here (empty = in-memory only)")
 		sbTelGate     = flag.Float64("servebench-telemetry-gate", 0, "fail when engine+telemetry costs more than this % of bare-engine QPS (0 disables; skipped on <4-CPU machines)")
 		sbDashOut     = flag.String("servebench-dashboard-out", "", "write the telemetry-mode server's rendered /debug/dashboard HTML here")
+		sbBatchOnly   = flag.Bool("servebench-batch-only", false, "run only the uncached QPS-vs-MaxBatch sweep and its fused gate (the cheap per-PR shape)")
+		sbFusedGate   = flag.Float64("servebench-fused-gate", 0, "fail when the fused [B×d] forward is below this × matvec throughput at MaxBatch 16 (0 disables; skipped on <4-CPU machines)")
 
 		ingestbench   = flag.Bool("ingestbench", false, "run the live-traffic ingestion benchmark instead of the paper experiments")
 		ibCity        = flag.String("ingestbench-city", "chengdu-s", "city preset for -ingestbench")
@@ -155,6 +163,8 @@ func main() {
 			ProfileDir:    *sbProfileDir,
 			TelemetryGate: *sbTelGate,
 			DashboardOut:  *sbDashOut,
+			BatchOnly:     *sbBatchOnly,
+			FusedGate:     *sbFusedGate,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -48,6 +48,16 @@ type serveBenchOptions struct {
 	// HTML of the telemetry-mode server there (the CI workflow uploads it
 	// as an artifact).
 	DashboardOut string
+	// BatchOnly runs only the uncached QPS-vs-MaxBatch sweep (and its gate),
+	// skipping the mode comparison, telemetry and alert-spike scenarios —
+	// the cheap shape scripts/check.sh runs on every PR.
+	BatchOnly bool
+	// FusedGate, when > 0, makes the run fail unless the fused batched
+	// forward reaches at least this × the per-sample matvec throughput at
+	// MaxBatch 16. Enforced only on machines with >= 4 CPUs — on a starved
+	// runner the engine worker and the closed-loop clients fight for the
+	// same core and the ratio measures scheduling, not kernels.
+	FusedGate float64
 }
 
 // serveBenchMode is one measured serving configuration.
@@ -93,6 +103,29 @@ type serveBenchReport struct {
 	// AlertSpike reports the synthetic error-spike scenario: burn-rate
 	// alert detection/resolution latency and SLO monitoring overhead.
 	AlertSpike *alertSpikeReport `json:"alert_spike,omitempty"`
+	// BatchSweep is the uncached engine measured at several admission batch
+	// ceilings with the fused [B×d] forward, plus the per-sample matvec
+	// baseline at MaxBatch 16.
+	BatchSweep []batchSweepPoint `json:"batch_sweep,omitempty"`
+	// FusedSpeedup is fused QPS over matvec QPS, both at MaxBatch 16 on the
+	// uncached engine; FusedGateThreshold and FusedGateEnforced record the
+	// speedup gate the same way the telemetry gate is recorded.
+	FusedSpeedup       float64 `json:"fused_speedup,omitempty"`
+	FusedGateThreshold float64 `json:"fused_gate_threshold,omitempty"`
+	FusedGateEnforced  bool    `json:"fused_gate_enforced"`
+}
+
+// batchSweepPoint is one uncached engine run of the batch sweep.
+type batchSweepPoint struct {
+	MaxBatch int `json:"max_batch"`
+	// Fused says whether the snapshot offered EstimateBatch (the fused
+	// [B×d] forward) or forced the per-sample matvec path.
+	Fused    bool    `json:"fused"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 // serveBenchTelemetry is the telemetry-pipeline evidence embedded in the
@@ -237,114 +270,127 @@ func runServeBench(o serveBenchOptions) error {
 	log.Printf("servebench: %s, %d distinct ODs, %d clients, %s per mode",
 		o.City, o.DistinctODs, o.Concurrency, o.Duration)
 
-	report.Modes = append(report.Modes, run("direct", direct, nil))
-
-	engNo, err := newEngine(0, nil, obs.NewRegistry())
-	if err != nil {
-		return err
-	}
-	engine := func(ctx context.Context, _ int, od traj.ODInput) (infer.Result, error) {
-		return engNo.Do(ctx, od)
-	}
-	report.Modes = append(report.Modes, run("engine", engine, engNo))
-	engNo.Close()
-
-	engCache, err := newEngine(65536, nil, obs.NewRegistry())
-	if err != nil {
-		return err
-	}
-	cached := func(ctx context.Context, _ int, od traj.ODInput) (infer.Result, error) {
-		return engCache.Do(ctx, od)
-	}
-	report.Modes = append(report.Modes, run("engine+cache", cached, engCache))
-	engCache.Close()
-
-	report.SpeedupCachedVsDirect = report.Modes[2].QPS / report.Modes[0].QPS
-
-	// Feedback replay: the full quality loop on every request — the engine
-	// stamps each prediction into the monitor's pending table and the client
-	// immediately reports the record's observed travel time as ground truth.
-	// One hour-long window so the whole run lands in Current.
-	mon := quality.New(quality.Config{
-		Window:     time.Hour,
-		PendingTTL: time.Hour,
-		Cells:      cells,
-		Slotter:    m.Slotter(),
-		Registry:   obs.NewRegistry(),
-	})
-	engFb, err := newEngine(0, mon, obs.NewRegistry())
-	if err != nil {
-		return err
-	}
-	feedback := func(ctx context.Context, i int, od traj.ODInput) (infer.Result, error) {
-		res, err := engFb.Do(ctx, od)
-		if err != nil || res.PredictionID == "" {
-			return res, err
-		}
-		if _, ferr := mon.Feedback(res.PredictionID, actuals[i]); ferr != nil {
-			return res, ferr
-		}
-		return res, nil
-	}
-	report.Modes = append(report.Modes, run("engine+feedback", feedback, engFb))
-	engFb.Close()
-
-	st := mon.State()
-	fb := &report.Modes[3]
-	fb.Joined = st.Counters.Joined
-	if st.Current != nil && st.Current.Count > 0 {
-		fb.QualityMAESec = float64(st.Current.MAESeconds)
-	}
-	if report.Modes[1].QPS > 0 {
-		report.FeedbackOverheadPct = 100 * (1 - report.Modes[3].QPS/report.Modes[1].QPS)
-	}
-
-	// Telemetry mode: the bare engine again, but with the full telemetry
-	// stack live — history sampler ticking the engine's registry at a fast
-	// interval, exemplar recording on, the push exporter shipping deltas to
-	// an in-process sink, and ~1% of requests running under a hand-opened
-	// trace (servebench calls eng.Do directly, so there is no HTTP
-	// middleware to start one). The QPS delta vs the bare engine is the
-	// price of turning everything on.
-	if err := runTelemetryMode(o, &report, newEngine, run); err != nil {
-		return err
-	}
-	if o.TelemetryGate > 0 {
-		if report.CPUs < 4 {
-			log.Printf("servebench: telemetry overhead gate skipped — %d CPU(s) cannot measure overhead without scheduling noise", report.CPUs)
-		} else {
-			report.GateEnforced = true
-		}
-	}
-
-	// Alert-spike scenario: synthetic error spike through the SLO engine on
-	// the same city and workload, reporting detection/resolution latency.
-	log.Printf("servebench: alert-spike scenario (burn-rate detection latency)")
-	spikeRep, err := runAlertSpike(o, m, cells, match, ods)
-	if err != nil {
-		return err
-	}
-	report.AlertSpike = spikeRep
-
 	var b strings.Builder
-	fmt.Fprintf(&b, "Serving load benchmark — %s, %d clients, %d distinct ODs\n",
-		o.City, o.Concurrency, o.DistinctODs)
-	fmt.Fprintf(&b, "%-16s %10s %8s %10s %10s %8s %10s %8s\n",
-		"mode", "QPS", "reqs", "p50 ms", "p99 ms", "errors", "cache hit", "joined")
-	for _, md := range report.Modes {
-		fmt.Fprintf(&b, "%-16s %10.0f %8d %10.3f %10.3f %8d %10d %8d\n",
-			md.Name, md.QPS, md.Requests, md.P50Ms, md.P99Ms, md.Errors, md.CacheHits, md.Joined)
+	if !o.BatchOnly {
+		report.Modes = append(report.Modes, run("direct", direct, nil))
+
+		engNo, err := newEngine(0, nil, obs.NewRegistry())
+		if err != nil {
+			return err
+		}
+		engine := func(ctx context.Context, _ int, od traj.ODInput) (infer.Result, error) {
+			return engNo.Do(ctx, od)
+		}
+		report.Modes = append(report.Modes, run("engine", engine, engNo))
+		engNo.Close()
+
+		engCache, err := newEngine(65536, nil, obs.NewRegistry())
+		if err != nil {
+			return err
+		}
+		cached := func(ctx context.Context, _ int, od traj.ODInput) (infer.Result, error) {
+			return engCache.Do(ctx, od)
+		}
+		report.Modes = append(report.Modes, run("engine+cache", cached, engCache))
+		engCache.Close()
+
+		report.SpeedupCachedVsDirect = report.Modes[2].QPS / report.Modes[0].QPS
+
+		// Feedback replay: the full quality loop on every request — the engine
+		// stamps each prediction into the monitor's pending table and the client
+		// immediately reports the record's observed travel time as ground truth.
+		// One hour-long window so the whole run lands in Current.
+		mon := quality.New(quality.Config{
+			Window:     time.Hour,
+			PendingTTL: time.Hour,
+			Cells:      cells,
+			Slotter:    m.Slotter(),
+			Registry:   obs.NewRegistry(),
+		})
+		engFb, err := newEngine(0, mon, obs.NewRegistry())
+		if err != nil {
+			return err
+		}
+		feedback := func(ctx context.Context, i int, od traj.ODInput) (infer.Result, error) {
+			res, err := engFb.Do(ctx, od)
+			if err != nil || res.PredictionID == "" {
+				return res, err
+			}
+			if _, ferr := mon.Feedback(res.PredictionID, actuals[i]); ferr != nil {
+				return res, ferr
+			}
+			return res, nil
+		}
+		report.Modes = append(report.Modes, run("engine+feedback", feedback, engFb))
+		engFb.Close()
+
+		st := mon.State()
+		fb := &report.Modes[3]
+		fb.Joined = st.Counters.Joined
+		if st.Current != nil && st.Current.Count > 0 {
+			fb.QualityMAESec = float64(st.Current.MAESeconds)
+		}
+		if report.Modes[1].QPS > 0 {
+			report.FeedbackOverheadPct = 100 * (1 - report.Modes[3].QPS/report.Modes[1].QPS)
+		}
+
+		// Telemetry mode: the bare engine again, but with the full telemetry
+		// stack live — history sampler ticking the engine's registry at a fast
+		// interval, exemplar recording on, the push exporter shipping deltas to
+		// an in-process sink, and ~1% of requests running under a hand-opened
+		// trace (servebench calls eng.Do directly, so there is no HTTP
+		// middleware to start one). The QPS delta vs the bare engine is the
+		// price of turning everything on.
+		if err := runTelemetryMode(o, &report, newEngine, run); err != nil {
+			return err
+		}
+		if o.TelemetryGate > 0 {
+			if report.CPUs < 4 {
+				log.Printf("servebench: telemetry overhead gate skipped — %d CPU(s) cannot measure overhead without scheduling noise", report.CPUs)
+			} else {
+				report.GateEnforced = true
+			}
+		}
+
+		// Alert-spike scenario: synthetic error spike through the SLO engine on
+		// the same city and workload, reporting detection/resolution latency.
+		log.Printf("servebench: alert-spike scenario (burn-rate detection latency)")
+		spikeRep, err := runAlertSpike(o, m, cells, match, ods)
+		if err != nil {
+			return err
+		}
+		report.AlertSpike = spikeRep
+
+		fmt.Fprintf(&b, "Serving load benchmark — %s, %d clients, %d distinct ODs\n",
+			o.City, o.Concurrency, o.DistinctODs)
+		fmt.Fprintf(&b, "%-16s %10s %8s %10s %10s %8s %10s %8s\n",
+			"mode", "QPS", "reqs", "p50 ms", "p99 ms", "errors", "cache hit", "joined")
+		for _, md := range report.Modes {
+			fmt.Fprintf(&b, "%-16s %10.0f %8d %10.3f %10.3f %8d %10d %8d\n",
+				md.Name, md.QPS, md.Requests, md.P50Ms, md.P99Ms, md.Errors, md.CacheHits, md.Joined)
+		}
+		fmt.Fprintf(&b, "cached throughput vs direct: %.1fx\n", report.SpeedupCachedVsDirect)
+		fmt.Fprintf(&b, "quality monitoring overhead vs bare engine: %.1f%% (online MAE %.1fs over %d joined)\n",
+			report.FeedbackOverheadPct, fb.QualityMAESec, fb.Joined)
+		if t := report.Telemetry; t != nil {
+			fmt.Fprintf(&b, "telemetry overhead vs bare engine: %.1f%% (%d series sampled, %d batches / %d points exported, %d traced requests)\n",
+				report.TelemetryOverheadPct, t.History.Series, t.Export.BatchesOK, t.Export.PointsExported, t.Traced)
+		}
+		fmt.Fprintf(&b, "alert spike (%d rounds, %.0f ms eval interval): detect p50 %.0f ms / max %.0f ms, resolve p50 %.0f ms, %d profiles, SLO overhead %.1f%%\n",
+			spikeRep.Rounds, spikeRep.EvalIntervalMs, spikeRep.DetectP50Ms, spikeRep.DetectMaxMs,
+			spikeRep.ResolveP50Ms, spikeRep.Profiles, spikeRep.SLOOverheadPct)
 	}
-	fmt.Fprintf(&b, "cached throughput vs direct: %.1fx\n", report.SpeedupCachedVsDirect)
-	fmt.Fprintf(&b, "quality monitoring overhead vs bare engine: %.1f%% (online MAE %.1fs over %d joined)\n",
-		report.FeedbackOverheadPct, fb.QualityMAESec, fb.Joined)
-	if t := report.Telemetry; t != nil {
-		fmt.Fprintf(&b, "telemetry overhead vs bare engine: %.1f%% (%d series sampled, %d batches / %d points exported, %d traced requests)\n",
-			report.TelemetryOverheadPct, t.History.Series, t.Export.BatchesOK, t.Export.PointsExported, t.Traced)
+
+	if err := runBatchSweep(o, &report, m, match, cells, run, &b); err != nil {
+		return err
 	}
-	fmt.Fprintf(&b, "alert spike (%d rounds, %.0f ms eval interval): detect p50 %.0f ms / max %.0f ms, resolve p50 %.0f ms, %d profiles, SLO overhead %.1f%%\n",
-		spikeRep.Rounds, spikeRep.EvalIntervalMs, spikeRep.DetectP50Ms, spikeRep.DetectMaxMs,
-		spikeRep.ResolveP50Ms, spikeRep.Profiles, spikeRep.SLOOverheadPct)
+	if o.FusedGate > 0 {
+		if report.CPUs < 4 {
+			log.Printf("servebench: fused speedup gate skipped — %d CPU(s) cannot separate kernel throughput from scheduling noise", report.CPUs)
+		} else {
+			report.FusedGateEnforced = true
+		}
+	}
 	fmt.Println(b.String())
 
 	f, err := os.Create(o.Out)
@@ -366,6 +412,102 @@ func runServeBench(o serveBenchOptions) error {
 		return fmt.Errorf("servebench: telemetry overhead gate failed: %.1f%% QPS cost vs bare engine, want <= %.1f%%",
 			report.TelemetryOverheadPct, o.TelemetryGate)
 	}
+	if report.FusedGateEnforced && report.FusedSpeedup < o.FusedGate {
+		return fmt.Errorf("servebench: fused speedup gate failed: fused forward reached %.2fx of matvec throughput at MaxBatch 16, want >= %.2fx",
+			report.FusedSpeedup, o.FusedGate)
+	}
+	return nil
+}
+
+// runBatchSweep measures the uncached engine at MaxBatch ∈ {1, 4, 16, 64}
+// with the fused [B×d] snapshot, then once more at MaxBatch 16 with
+// EstimateBatch stripped so every drained batch falls back to per-sample
+// matvec forwards — the ratio of the two MaxBatch-16 runs is the serving-
+// level win of the fused kernels (diluted by per-request map matching,
+// which batching cannot amortize). Results land in report.BatchSweep and
+// report.FusedSpeedup and are appended to the printed summary.
+func runBatchSweep(
+	o serveBenchOptions,
+	report *serveBenchReport,
+	m *core.Model,
+	match func(context.Context, traj.ODInput) (traj.MatchedOD, error),
+	cells *roadnet.EdgeIndex,
+	run func(string, func(context.Context, int, traj.ODInput) (infer.Result, error), *infer.Engine) serveBenchMode,
+	b *strings.Builder,
+) error {
+	report.FusedGateThreshold = o.FusedGate
+
+	fused := infer.ModelSnapshot("servebench", m)
+	matvec := *fused
+	matvec.EstimateBatch = nil // worker falls back to one Estimate per drained request
+
+	newSweepEngine := func(maxBatch int, snap *infer.Snapshot) (*infer.Engine, error) {
+		return infer.New(infer.Config{
+			Match:        match,
+			Snapshot:     snap,
+			Workers:      runtime.GOMAXPROCS(0),
+			QueueDepth:   4 * o.Concurrency,
+			MaxBatch:     maxBatch,
+			QueueTimeout: 5 * time.Second,
+			Cells:        cells,
+			Slotter:      m.Slotter(),
+			Registry:     obs.NewRegistry(),
+		})
+	}
+	measure := func(name string, maxBatch int, snap *infer.Snapshot, isFused bool) (batchSweepPoint, error) {
+		eng, err := newSweepEngine(maxBatch, snap)
+		if err != nil {
+			return batchSweepPoint{}, err
+		}
+		defer eng.Close()
+		do := func(ctx context.Context, _ int, od traj.ODInput) (infer.Result, error) {
+			return eng.Do(ctx, od)
+		}
+		md := run(name, do, eng)
+		return batchSweepPoint{
+			MaxBatch: maxBatch,
+			Fused:    isFused,
+			Requests: md.Requests,
+			Errors:   md.Errors,
+			QPS:      md.QPS,
+			P50Ms:    md.P50Ms,
+			P99Ms:    md.P99Ms,
+		}, nil
+	}
+
+	log.Printf("servebench: batch sweep (uncached engine, MaxBatch 1/4/16/64 fused + matvec baseline)")
+	var fused16, matvec16 float64
+	for _, mb := range []int{1, 4, 16, 64} {
+		pt, err := measure(fmt.Sprintf("fused-b%d", mb), mb, fused, true)
+		if err != nil {
+			return err
+		}
+		if mb == 16 {
+			fused16 = pt.QPS
+		}
+		report.BatchSweep = append(report.BatchSweep, pt)
+	}
+	pt, err := measure("matvec-b16", 16, &matvec, false)
+	if err != nil {
+		return err
+	}
+	matvec16 = pt.QPS
+	report.BatchSweep = append(report.BatchSweep, pt)
+	if matvec16 > 0 {
+		report.FusedSpeedup = fused16 / matvec16
+	}
+
+	fmt.Fprintf(b, "Uncached batch sweep — fused [B×d] forward vs per-sample matvec\n")
+	fmt.Fprintf(b, "%-16s %10s %8s %10s %10s %8s\n", "mode", "QPS", "reqs", "p50 ms", "p99 ms", "errors")
+	for _, pt := range report.BatchSweep {
+		name := fmt.Sprintf("fused-b%d", pt.MaxBatch)
+		if !pt.Fused {
+			name = fmt.Sprintf("matvec-b%d", pt.MaxBatch)
+		}
+		fmt.Fprintf(b, "%-16s %10.0f %8d %10.3f %10.3f %8d\n",
+			name, pt.QPS, pt.Requests, pt.P50Ms, pt.P99Ms, pt.Errors)
+	}
+	fmt.Fprintf(b, "fused throughput vs matvec at MaxBatch 16: %.2fx\n", report.FusedSpeedup)
 	return nil
 }
 

@@ -40,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 
 	"deepod"
 	"deepod/internal/benchmeta"
@@ -232,6 +233,8 @@ func smokeRecord(c *deepod.City, snap *infer.Snapshot,
 		Match:        match,
 		Snapshot:     snap,
 		Workers:      2, // recording needs no determinism, only the replay does
+		MaxBatch:     16,
+		QueueDepth:   2 * requests,
 		CacheEntries: 4096,
 		Cells:        cells,
 		Slotter:      snap.Slotter,
@@ -246,18 +249,40 @@ func smokeRecord(c *deepod.City, snap *infer.Snapshot,
 	if len(trips) == 0 {
 		trips = c.Records
 	}
-	served := 0
+	// Fire the whole request set as one concurrent burst so the queue backs
+	// up and the workers drain multi-request batches through the snapshot's
+	// fused [B×d] forward — the replay below re-answers those same events
+	// per-sample (Workers 1, MaxBatch 1), so zero unexplained diffs proves
+	// the fused path is bit-identical to the per-sample path on a real
+	// checkpoint, not just in unit tests.
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		served int
+	)
 	for i := 0; i < requests && len(trips) > 0; i++ {
+		trip := trips[i%len(trips)]
+		od := trip.OD
+		od.External = c.Grid.External(od.DepartSec)
+		wg.Add(1)
+		go func(od traj.ODInput) {
+			defer wg.Done()
+			if _, err := eng.Do(context.Background(), od); err == nil {
+				mu.Lock()
+				served++
+				mu.Unlock()
+			}
+		}(od)
+	}
+	wg.Wait()
+	// A few immediate repeats, sequential so they deterministically hit the
+	// now-populated estimate cache: cache-hit events in the recording.
+	for i := 3; i < requests && len(trips) > 0; i += 7 {
 		trip := trips[i%len(trips)]
 		od := trip.OD
 		od.External = c.Grid.External(od.DepartSec)
 		if _, err := eng.Do(context.Background(), od); err == nil {
 			served++
-		}
-		if i%7 == 3 { // replay the same OD immediately: a cache hit event
-			if _, err := eng.Do(context.Background(), od); err == nil {
-				served++
-			}
 		}
 	}
 	for i := 0; i < 3; i++ { // errors are always captured

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"deepod/internal/traj"
+)
+
+// Inference benchmarks: the fused [B×d] batch path against B per-sample
+// tape walks, at the admission batch sizes the serving sweep uses. Run with
+// -benchmem: the fused path's advantage is as much the collapsed per-node
+// tape bookkeeping as the kernel shape.
+
+func benchModel(b *testing.B) (*Model, []traj.MatchedOD) {
+	b.Helper()
+	g, recs := testWorld(b, 60)
+	m, err := New(tinyConfig(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ods := make([]traj.MatchedOD, len(recs))
+	for i := range recs {
+		ods[i] = recs[i].Matched
+	}
+	return m, ods
+}
+
+func BenchmarkEstimateBatchFused(b *testing.B) {
+	m, ods := benchModel(b)
+	for _, bs := range []int{4, 16, 64} {
+		if bs > len(ods) {
+			continue
+		}
+		batch := ods[:bs]
+		b.Run(fmt.Sprintf("B%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.EstimateBatchFused(batch)
+			}
+		})
+	}
+}
+
+func BenchmarkEstimateBatchPerSample(b *testing.B) {
+	m, ods := benchModel(b)
+	for _, bs := range []int{4, 16, 64} {
+		if bs > len(ods) {
+			continue
+		}
+		batch := ods[:bs]
+		b.Run(fmt.Sprintf("B%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.EstimateBatch(batch)
+			}
+		})
+	}
+}

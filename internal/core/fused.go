@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"deepod/internal/citysim"
+	"deepod/internal/nn"
+	"deepod/internal/obs"
+	"deepod/internal/tensor"
+	"deepod/internal/traj"
+)
+
+// The fused batched inference path: an admission batch of B matched ODs is
+// encoded as one [B×odDim] feature matrix and pushed through the OD encoder
+// MLP and the estimator head as matrix-matrix products, instead of B
+// independent tape walks. Per-sample work that has no batched kernel (the
+// external-features conv stack) still runs on an eval tape, but every MLP —
+// extMLP, odMLP, estMLP — runs through tensor.AffineBatchInto, which keeps
+// reductions sequential per output element, so the fused result is
+// Float64bits-identical to EstimateBatch. Flight-recorder replay
+// (internal/replay, which pins MaxBatch=1) therefore reproduces fused-engine
+// recordings with zero unexplained diffs.
+
+// fusedScratch is the reusable state of one fused forward: an eval tape for
+// the per-sample conv encoder and an arena for the [B×d] activation
+// matrices. Pooled like evalTapes so steady-state batches allocate only
+// their output slice.
+type fusedScratch struct {
+	tp    *nn.Tape
+	arena tensor.Arena
+}
+
+var fusedScratches = sync.Pool{New: func() any { return &fusedScratch{tp: nn.NewEvalTape()} }}
+
+// EstimateBatchFused estimates many OD inputs through the fused [B×d] path.
+// Results are bit-identical to EstimateBatch for every batch size.
+func (m *Model) EstimateBatchFused(ods []traj.MatchedOD) []float64 {
+	return m.EstimateBatchFusedCtx(context.Background(), ods)
+}
+
+// EstimateBatchFusedCtx is EstimateBatchFused with trace context: the batch
+// is one "estimate_batch" span (count and fused attributes) whose children
+// are a single batched encode stage and a single batched estimate stage.
+// Batches of one fall back to the per-sample path — there is nothing to
+// fuse and the tape path avoids the matrix bookkeeping. Safe for concurrent
+// use.
+func (m *Model) EstimateBatchFusedCtx(ctx context.Context, ods []traj.MatchedOD) []float64 {
+	if len(ods) <= 1 {
+		return m.EstimateBatchCtx(ctx, ods)
+	}
+	bctx, span := obs.StartSpan(ctx, "estimate_batch")
+	span.SetInt("count", len(ods))
+	span.SetInt("fused", 1)
+	defer span.End()
+
+	sc := fusedScratches.Get().(*fusedScratch)
+	defer fusedScratches.Put(sc)
+	ar := &sc.arena
+	ar.Reset()
+
+	_, encSpan := obs.StartSpan(bctx, "encode")
+	z9 := m.odFeatureMatrix(sc, ods)
+	code := m.odMLP.ForwardBatch(ar, z9)
+	encSpan.End()
+
+	_, estSpan := obs.StartSpan(bctx, "estimate")
+	y := m.estMLP.ForwardBatch(ar, code)
+	estSpan.End()
+
+	out := make([]float64, len(ods))
+	for i := range out {
+		sec := y.Data[i] * m.timeScale
+		if sec < 0 {
+			sec = 0
+		}
+		out[i] = sec
+	}
+	return out
+}
+
+// odFeatureMatrix assembles the Z⁹ feature matrix for a batch: one row per
+// OD, laid out exactly as encodeOD concatenates its parts. The external code
+// rows are produced by extMLP.ForwardBatch over a [B×z8] matrix; everything
+// else is a pure copy of embedding rows and scalar features, so every value
+// equals the per-sample tape path bit for bit.
+func (m *Model) odFeatureMatrix(sc *fusedScratch, ods []traj.MatchedOD) *tensor.Tensor {
+	ar := &sc.arena
+	b := len(ods)
+	var ocode *tensor.Tensor // [B, D6m], nil under N-ex
+	if !m.cfg.NoExternal {
+		z8w := citysim.WeatherTypes + m.cfg.Dtraf
+		z8 := ar.New(b, z8w)
+		for i := range ods {
+			m.externalZ8Row(sc.tp, ods[i].External, z8.Data[i*z8w:(i+1)*z8w])
+		}
+		ocode = m.extMLP.ForwardBatch(ar, z8)
+	}
+	z9 := ar.New(b, m.odDim)
+	for i := range ods {
+		od := &ods[i]
+		row := z9.Data[i*m.odDim : (i+1)*m.odDim]
+		off := 0
+		if m.cfg.NoSpatial {
+			row[0], row[1] = m.edgeFracNorm(od.OriginEdge, od.RStart)
+			row[2], row[3] = m.edgeFracNorm(od.DestEdge, 1-od.REnd)
+			off = 4
+		} else {
+			off += m.embedRow(m.roadEmb, int(od.OriginEdge), row[off:])
+			off += m.embedRow(m.roadEmb, int(od.DestEdge), row[off:])
+		}
+		if m.cfg.TimeInit == TimeStamp {
+			row[off] = od.DepartSec
+			off++
+		} else {
+			off += m.embedRow(m.slotEmb, m.weekSlotIndex(od.DepartSec), row[off:])
+			row[off] = m.slotter.NormalizedRemainder(od.DepartSec)
+			off++
+		}
+		if ocode != nil {
+			d6 := m.cfg.D6m
+			copy(row[off:off+d6], ocode.Data[i*d6:(i+1)*d6])
+			off += d6
+		}
+		row[off] = od.RStart
+		row[off+1] = od.REnd
+		off += 2
+		if off != m.odDim {
+			panic(fmt.Sprintf("core: fused Z9 row size %d != expected %d", off, m.odDim))
+		}
+	}
+	return z9
+}
+
+// embedRow copies embedding row id into dst, with the same range check as
+// Embedding.Lookup, returning the embedding width.
+func (m *Model) embedRow(e *nn.Embedding, id int, dst []float64) int {
+	if id < 0 || id >= e.V {
+		panic(fmt.Sprintf("nn: embedding %q id %d out of range [0,%d)", e.W.Name, id, e.V))
+	}
+	copy(dst[:e.Dim], e.W.Value.Data[id*e.Dim:(id+1)*e.Dim])
+	return e.Dim
+}
+
+// externalZ8Row fills one Z⁸ row — [WeatherTypes one-hot | Dtraf traffic
+// code] — mirroring encodeExternal value for value. row arrives zeroed (an
+// arena allocation), which is exactly the nil-External encoding. The conv
+// stack has no batched kernel, so it runs per sample on the scratch tape.
+func (m *Model) externalZ8Row(tp *nn.Tape, ext *traj.ExternalFeatures, row []float64) {
+	if ext == nil {
+		return
+	}
+	if ext.Weather < 0 || ext.Weather >= citysim.WeatherTypes {
+		panic(fmt.Sprintf("core: weather type %d out of range", ext.Weather))
+	}
+	row[ext.Weather] = 1
+	tp.Reset()
+	grid := tp.Alloc(1, ext.GridRows, ext.GridCols)
+	for i, v := range ext.SpeedGrid {
+		grid.Data[i] = v / maxSpeedNorm
+	}
+	c1 := m.extConv1.Forward(tp, tp.Const(grid))
+	c2 := m.extConv2.Forward(tp, c1)
+	c3 := m.extConv3.Forward(tp, c2)
+	pooled := tp.GlobalAvgPool(c3)
+	dtraf := tp.ReLU(m.extProj.Forward(tp, pooled))
+	copy(row[citysim.WeatherTypes:], dtraf.Value.Data)
+}

@@ -685,12 +685,33 @@ func (e *Engine) stamp(od traj.ODInput, sec float64, inst *installed) string {
 	return e.cfg.Recorder.RecordPrediction(od, sec, inst.snap.ID, inst.gen)
 }
 
+// pendingJob is a batch member that survived admission and map matching
+// and is waiting for its model answer.
+type pendingJob struct {
+	j       *job
+	matched traj.MatchedOD
+	wait    time.Duration
+	bctx    context.Context
+	bspan   *obs.Span
+	epoch   uint64
+	live    bool
+}
+
 // worker serves batches until the queue closes. The snapshot is loaded
 // once per batch: every request in a batch is answered by the same model,
 // and a concurrent Swap only affects subsequent batches.
+//
+// Each batch runs in two phases: per-request map matching and traffic
+// overrides first, then one model call for every request that survived.
+// When the snapshot provides EstimateBatch and more than one request is
+// pending, that call is the fused [B×d] forward; the fused result is
+// bit-identical to per-request Estimate calls (see core.EstimateBatchFused),
+// so batching never changes an answer.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	batch := make([]*job, 0, e.cfg.MaxBatch)
+	pending := make([]pendingJob, 0, e.cfg.MaxBatch)
+	ods := make([]traj.MatchedOD, 0, e.cfg.MaxBatch)
 	for first := range e.queue {
 		batch = append(batch[:0], first)
 	drain:
@@ -709,6 +730,7 @@ func (e *Engine) worker() {
 		e.batchSize.Observe(float64(len(batch)))
 		inst := e.cur.Load()
 		now := e.now()
+		pending = pending[:0]
 		for _, j := range batch {
 			wait := now.Sub(j.enqueued)
 			e.queueWait.Observe(wait.Seconds())
@@ -740,20 +762,48 @@ func (e *Engine) worker() {
 				// stale, so matched never loses its features entirely.
 				matched.External, live = e.cfg.Traffic.External(j.od.DepartSec)
 			}
-			ectx, espan := e.reg.StartSpan(bctx, "infer.model")
-			sec := inst.snap.Estimate(ectx, &matched)
-			espan.End()
-			if e.cache != nil {
-				// Tagged with the batch's generation: if a Swap landed
-				// mid-batch this entry is already stale and will never
-				// be served.
-				e.cache.put(e.keyOf(j.od), sec, inst.gen, e.now())
+			pending = append(pending, pendingJob{j: j, matched: matched,
+				wait: wait, bctx: bctx, bspan: bspan, epoch: epoch, live: live})
+		}
+		if len(pending) > 1 && inst.snap.EstimateBatch != nil {
+			// Fused path: one [B×d] forward answers the whole batch. The
+			// model span hangs off the first pending request's trace; every
+			// request's own infer.batch span records that it was answered
+			// fused and at what batch size.
+			ods = ods[:0]
+			for i := range pending {
+				ods = append(ods, pending[i].matched)
 			}
-			bspan.End()
-			j.done <- outcome{sec: sec, snapID: inst.snap.ID, predID: e.stamp(j.od, sec, inst),
-				wait: wait, gen: inst.gen, epoch: epoch, live: live}
+			ectx, espan := e.reg.StartSpan(pending[0].bctx, "infer.model")
+			espan.SetInt("fused", len(ods))
+			secs := inst.snap.EstimateBatch(ectx, ods)
+			espan.End()
+			for i := range pending {
+				pending[i].bspan.SetInt("fused", len(ods))
+				e.finish(&pending[i], secs[i], inst)
+			}
+		} else {
+			for i := range pending {
+				p := &pending[i]
+				ectx, espan := e.reg.StartSpan(p.bctx, "infer.model")
+				sec := inst.snap.Estimate(ectx, &p.matched)
+				espan.End()
+				e.finish(p, sec, inst)
+			}
 		}
 	}
+}
+
+// finish caches, records and delivers one model answer.
+func (e *Engine) finish(p *pendingJob, sec float64, inst *installed) {
+	if e.cache != nil {
+		// Tagged with the batch's generation: if a Swap landed mid-batch
+		// this entry is already stale and will never be served.
+		e.cache.put(e.keyOf(p.j.od), sec, inst.gen, e.now())
+	}
+	p.bspan.End()
+	p.j.done <- outcome{sec: sec, snapID: inst.snap.ID, predID: e.stamp(p.j.od, sec, inst),
+		wait: p.wait, gen: inst.gen, epoch: p.epoch, live: p.live}
 }
 
 // Close stops admission, waits for queued work to finish and stops the

@@ -52,6 +52,23 @@ func (m *MLP2) Forward(tp *Tape, x *Node) *Node {
 	return m.L2.Forward(tp, tp.ReLU(m.L1.Forward(tp, x)))
 }
 
+// ForwardBatch applies the MLP to a [B, in] matrix of raw values using the
+// batched serving kernels, carving both activations out of ar. No tape, no
+// gradients — inference only. Row r of the result is bit-identical to
+// Forward on row r alone: AffineBatchInto reduces like MatVecAddInto and
+// ReLUInPlace matches the tape ReLU exactly.
+func (m *MLP2) ForwardBatch(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 2 || x.Shape[1] != m.L1.In {
+		panic(fmt.Sprintf("nn: MLP %q ForwardBatch expects [B, %d], got %v", m.L1.W.Name, m.L1.In, x.Shape))
+	}
+	h := ar.New(x.Shape[0], m.L1.Out)
+	tensor.AffineBatchInto(h, x, m.L1.W.Value, m.L1.B.Value)
+	tensor.ReLUInPlace(h)
+	y := ar.New(x.Shape[0], m.L2.Out)
+	tensor.AffineBatchInto(y, h, m.L2.W.Value, m.L2.B.Value)
+	return y
+}
+
 // Embedding is a learnable lookup table W ∈ R^{V×d} (Formula 1: one-hot
 // codes times the embedding matrix select rows). The matrix can be
 // initialized from a pre-trained graph embedding (node2vec over the road

@@ -2,6 +2,8 @@ package replay
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -209,5 +211,92 @@ func TestReplaySkipsShed(t *testing.T) {
 	}
 	if rep.UnexplainedDiffs != 0 {
 		t.Fatalf("unexplained = %d", rep.UnexplainedDiffs)
+	}
+}
+
+// TestReplayFusedRecordingBitForBit records through an engine whose snapshot
+// serves drained batches with a fused EstimateBatch (MaxBatch 16, concurrent
+// clients, a gated first request so multi-request drains provably form), then
+// replays the events through Run's pinned per-sample engine (Workers 1,
+// MaxBatch 1 — EstimateBatch never fires). Zero unexplained diffs means the
+// batch size a request happened to be served at never leaks into its answer —
+// the contract that keeps fused-engine recordings replayable.
+func TestReplayFusedRecordingBitForBit(t *testing.T) {
+	estimate := func(m *traj.MatchedOD) float64 { return 3 * (1 + m.DepartSec/7) }
+	gate := make(chan struct{})
+	var fusedBatches atomic.Int64
+	s := &infer.Snapshot{
+		ID: "fused",
+		Estimate: func(_ context.Context, m *traj.MatchedOD) float64 {
+			<-gate // recording: hold the worker until the queue fills; replay: closed, no-op
+			return estimate(m)
+		},
+		EstimateBatch: func(_ context.Context, ods []traj.MatchedOD) []float64 {
+			if len(ods) > 1 {
+				fusedBatches.Add(1)
+			}
+			out := make([]float64, len(ods))
+			for i := range ods {
+				out[i] = estimate(&ods[i])
+			}
+			return out
+		},
+	}
+
+	rec, err := recorder.New(recorder.Config{
+		SampleRate: 1,
+		Cells:      cells{},
+		Slotter:    timeslot.MustNew(5 * time.Minute),
+		Registry:   obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	eng, err := infer.New(infer.Config{
+		Match: match, Snapshot: s,
+		Workers: 1, MaxBatch: 16, QueueDepth: 64,
+		CacheEntries: 128, Cells: cells{}, Slotter: timeslot.MustNew(5 * time.Minute),
+		Flight:   rec,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct cells and slots so nothing is served from cache.
+			_, _ = eng.Do(context.Background(), traj.ODInput{
+				Origin:    geo.Point{X: float64(i * 150), Y: 100},
+				Dest:      geo.Point{X: 900, Y: float64(i * 120)},
+				DepartSec: float64(600 + 3600*i),
+			})
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // let the queue fill behind the gated first request
+	close(gate)
+	wg.Wait()
+	eng.Close()
+	if fusedBatches.Load() == 0 {
+		t.Fatal("no fused batches formed during the recording")
+	}
+
+	events := rec.Events(recorder.Filter{})
+	if len(events) != n {
+		t.Fatalf("recorded %d events, want %d", len(events), n)
+	}
+	rep, err := Run(context.Background(), Config{
+		Snapshot: s, Match: match,
+		Cells: cells{}, Slotter: timeslot.MustNew(5 * time.Minute),
+	}, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnexplainedDiffs != 0 || rep.Matched != n {
+		t.Fatalf("report = %+v, want %d matched and 0 unexplained", rep, n)
 	}
 }

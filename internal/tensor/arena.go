@@ -1,5 +1,7 @@
 package tensor
 
+import "fmt"
+
 // Arena is a bump allocator for short-lived tensors. A computation tape
 // owns one arena, carves every interior value and gradient out of it, and
 // calls Reset between samples; after the first pass over the largest sample
@@ -48,6 +50,29 @@ func (a *Arena) New(shape ...int) *Tensor {
 	t := a.hdr()
 	t.Shape = a.shape(shape)
 	t.Data = a.floats(n)
+	return t
+}
+
+// FromSlice wraps data (not copied) in an arena-backed header of the given
+// shape. The fused batched forward uses this for zero-copy row views into a
+// [B×d] activation matrix: the header and shape live in the arena slabs, so
+// carving B views per batch costs no heap allocations in steady state. The
+// data slice itself is the caller's — it is not reclaimed by Reset, but the
+// header must not be used after Reset like any other arena tensor.
+func (a *Arena) FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: arena FromSlice with non-positive dimension")
+		}
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: arena FromSlice shape %v wants %d elements, got %d", shape, n, len(data)))
+	}
+	t := a.hdr()
+	t.Shape = a.shape(shape)
+	t.Data = data
 	return t
 }
 

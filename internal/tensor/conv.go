@@ -41,30 +41,55 @@ func conv2DOutShape(x, k *Tensor, padH, padW, strideH, strideW int) (oc, oh, ow 
 	return oc, oh, ow
 }
 
+// conv2DForward accumulates each output element over (ci, ky, kx) in
+// ascending order, visiting only in-bounds taps. The valid kernel ranges are
+// computed per output row/column instead of branch-testing every tap, and the
+// innermost loop runs over two pre-sliced rows — the sum order (and therefore
+// every output bit) is identical to the naive bounds-checked tap loop this
+// replaces, which matters for checkpoint replay.
 func conv2DForward(out, x, k *Tensor, padH, padW, strideH, strideW int) {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
 	oh, ow := out.Shape[1], out.Shape[2]
 	for o := 0; o < oc; o++ {
+		kbase := o * c * kh * kw
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*strideH - padH
+			kyLo, kyHi := 0, kh
+			if iy0 < 0 {
+				kyLo = -iy0
+			}
+			if iy0+kyHi > h {
+				kyHi = h - iy0
+			}
+			outRow := out.Data[(o*oh+oy)*ow : (o*oh+oy+1)*ow]
 			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*strideW - padW
+				kxLo, kxHi := 0, kw
+				if ix0 < 0 {
+					kxLo = -ix0
+				}
+				if ix0+kxHi > w {
+					kxHi = w - ix0
+				}
+				if kyLo >= kyHi || kxLo >= kxHi {
+					outRow[ox] = 0
+					continue
+				}
 				var s float64
 				for ci := 0; ci < c; ci++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*strideH + ky - padH
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*strideW + kx - padW
-							if ix < 0 || ix >= w {
-								continue
-							}
-							s += x.Data[(ci*h+iy)*w+ix] * k.Data[((o*c+ci)*kh+ky)*kw+kx]
+					xch := x.Data[ci*h*w : (ci+1)*h*w]
+					kch := k.Data[kbase+ci*kh*kw : kbase+(ci+1)*kh*kw]
+					for ky := kyLo; ky < kyHi; ky++ {
+						xoff := (iy0+ky)*w + ix0
+						xrow := xch[xoff+kxLo : xoff+kxHi]
+						krow := kch[ky*kw+kxLo : ky*kw+kxHi]
+						for j, kv := range krow {
+							s += xrow[j] * kv
 						}
 					}
 				}
-				out.Data[(o*oh+oy)*ow+ox] = s
+				outRow[ox] = s
 			}
 		}
 	}
@@ -93,30 +118,55 @@ func Conv2DBackwardInto(a *Arena, x, k, gradOut *Tensor, padH, padW, strideH, st
 	return gradX, gradK
 }
 
+// conv2DBackward mirrors conv2DForward's hoisted-range structure: the same
+// in-bounds taps are visited in the same (o, oy, ox, ci, ky, kx) order as the
+// naive loop, so both gradients accumulate bit-identically.
 func conv2DBackward(gradX, gradK, x, k, gradOut *Tensor, padH, padW, strideH, strideW int) {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
 	oh, ow := gradOut.Shape[1], gradOut.Shape[2]
 	for o := 0; o < oc; o++ {
+		kbase := o * c * kh * kw
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*strideH - padH
+			kyLo, kyHi := 0, kh
+			if iy0 < 0 {
+				kyLo = -iy0
+			}
+			if iy0+kyHi > h {
+				kyHi = h - iy0
+			}
+			gRow := gradOut.Data[(o*oh+oy)*ow : (o*oh+oy+1)*ow]
 			for ox := 0; ox < ow; ox++ {
-				g := gradOut.Data[(o*oh+oy)*ow+ox]
+				g := gRow[ox]
 				if g == 0 {
 					continue
 				}
+				ix0 := ox*strideW - padW
+				kxLo, kxHi := 0, kw
+				if ix0 < 0 {
+					kxLo = -ix0
+				}
+				if ix0+kxHi > w {
+					kxHi = w - ix0
+				}
+				if kyLo >= kyHi || kxLo >= kxHi {
+					continue
+				}
 				for ci := 0; ci < c; ci++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*strideH + ky - padH
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*strideW + kx - padW
-							if ix < 0 || ix >= w {
-								continue
-							}
-							gradX.Data[(ci*h+iy)*w+ix] += g * k.Data[((o*c+ci)*kh+ky)*kw+kx]
-							gradK.Data[((o*c+ci)*kh+ky)*kw+kx] += g * x.Data[(ci*h+iy)*w+ix]
+					xch := x.Data[ci*h*w : (ci+1)*h*w]
+					gxch := gradX.Data[ci*h*w : (ci+1)*h*w]
+					kch := k.Data[kbase+ci*kh*kw : kbase+(ci+1)*kh*kw]
+					gkch := gradK.Data[kbase+ci*kh*kw : kbase+(ci+1)*kh*kw]
+					for ky := kyLo; ky < kyHi; ky++ {
+						xoff := (iy0+ky)*w + ix0
+						xrow := xch[xoff+kxLo : xoff+kxHi]
+						gxrow := gxch[xoff+kxLo : xoff+kxHi]
+						krow := kch[ky*kw+kxLo : ky*kw+kxHi]
+						gkrow := gkch[ky*kw+kxLo : ky*kw+kxHi]
+						for j := range krow {
+							gxrow[j] += g * krow[j]
+							gkrow[j] += g * xrow[j]
 						}
 					}
 				}

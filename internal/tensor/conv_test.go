@@ -116,3 +116,167 @@ func TestConv2DBackwardFiniteDiff(t *testing.T) {
 		}
 	}
 }
+
+// naiveConv2D is the original bounds-checked tap loop, kept as the bit-level
+// reference for the hoisted-range kernels: conv2DForward and conv2DBackward
+// must visit the same taps in the same order, so every output and gradient
+// bit must match — checkpoint replay depends on it.
+func naiveConv2D(x, k *Tensor, padH, padW, strideH, strideW int) *Tensor {
+	oc, oh, ow := conv2DOutShape(x, k, padH, padW, strideH, strideW)
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	kh, kw := k.Shape[2], k.Shape[3]
+	out := New(oc, oh, ow)
+	for o := 0; o < oc; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float64
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*strideH + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*strideW + kx - padW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += x.Data[(ci*h+iy)*w+ix] * k.Data[((o*c+ci)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out.Data[(o*oh+oy)*ow+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+func naiveConv2DBackward(x, k, gradOut *Tensor, padH, padW, strideH, strideW int) (gradX, gradK *Tensor) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oc, kh, kw := k.Shape[0], k.Shape[2], k.Shape[3]
+	oh, ow := gradOut.Shape[1], gradOut.Shape[2]
+	gradX = New(c, h, w)
+	gradK = New(oc, c, kh, kw)
+	for o := 0; o < oc; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := gradOut.Data[(o*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*strideH + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*strideW + kx - padW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							gradX.Data[(ci*h+iy)*w+ix] += g * k.Data[((o*c+ci)*kh+ky)*kw+kx]
+							gradK.Data[((o*c+ci)*kh+ky)*kw+kx] += g * x.Data[(ci*h+iy)*w+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradX, gradK
+}
+
+// TestConv2DMatchesNaiveBitExact sweeps shapes, paddings and strides —
+// including the model's 3×3/stride-2 traffic CNN and 3×1/pad-1 time-interval
+// encoder shapes, heavy padding and kernels larger than the padded overhang —
+// and requires bitwise equality between the hoisted kernels and the naive
+// reference for both the forward output and both gradients.
+func TestConv2DMatchesNaiveBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		c, h, w, oc, kh, kw    int
+		padH, padW, strH, strW int
+	}{
+		{1, 24, 24, 4, 3, 3, 1, 1, 2, 2}, // ext.conv1 shape
+		{4, 12, 12, 8, 3, 3, 1, 1, 2, 2}, // ext.conv2 shape
+		{8, 6, 6, 8, 3, 3, 1, 1, 2, 2},   // ext.conv3 shape
+		{1, 5, 1, 4, 3, 1, 1, 0, 1, 1},   // tie.conv 3×1 same-pad
+		{4, 5, 1, 8, 3, 1, 1, 0, 1, 1},
+		{8, 5, 1, 1, 1, 1, 0, 0, 1, 1}, // 1×1 projection
+		{2, 4, 4, 3, 3, 3, 2, 2, 1, 1}, // padding wider than needed
+		{1, 1, 1, 2, 3, 3, 1, 1, 1, 1}, // single-pixel input
+		{3, 7, 5, 2, 5, 5, 2, 2, 2, 3}, // large kernel, mixed strides
+		{2, 3, 3, 2, 3, 3, 3, 3, 1, 1}, // rows/cols fully in padding
+	}
+	for _, tc := range cases {
+		x := New(tc.c, tc.h, tc.w)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		k := New(tc.oc, tc.c, tc.kh, tc.kw)
+		for i := range k.Data {
+			k.Data[i] = rng.NormFloat64()
+		}
+		want := naiveConv2D(x, k, tc.padH, tc.padW, tc.strH, tc.strW)
+		got := Conv2D(x, k, tc.padH, tc.padW, tc.strH, tc.strW)
+		if !got.SameShape(want) {
+			t.Fatalf("%+v: shape %v, want %v", tc, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("%+v: forward bit mismatch at %d: %v vs %v", tc, i, got.Data[i], want.Data[i])
+			}
+		}
+		gradOut := New(want.Shape...)
+		for i := range gradOut.Data {
+			gradOut.Data[i] = rng.NormFloat64()
+		}
+		gradOut.Data[0] = 0 // exercise the g==0 skip
+		wantGX, wantGK := naiveConv2DBackward(x, k, gradOut, tc.padH, tc.padW, tc.strH, tc.strW)
+		gotGX, gotGK := Conv2DBackward(x, k, gradOut, tc.padH, tc.padW, tc.strH, tc.strW)
+		for i := range wantGX.Data {
+			if math.Float64bits(gotGX.Data[i]) != math.Float64bits(wantGX.Data[i]) {
+				t.Fatalf("%+v: gradX bit mismatch at %d", tc, i)
+			}
+		}
+		for i := range wantGK.Data {
+			if math.Float64bits(gotGK.Data[i]) != math.Float64bits(wantGK.Data[i]) {
+				t.Fatalf("%+v: gradK bit mismatch at %d", tc, i)
+			}
+		}
+	}
+}
+
+// BenchmarkConv2DInto runs the traffic CNN's three layer shapes — the
+// per-sample cost the fused serving path cannot batch away, and the dominant
+// term of an external-features estimate.
+func BenchmarkConv2DInto(b *testing.B) {
+	shapes := []struct {
+		name                   string
+		c, h, w, oc, kh, kw    int
+		padH, padW, strH, strW int
+	}{
+		{"ext1_1x10x10", 1, 10, 10, 4, 3, 3, 1, 1, 2, 2},
+		{"ext2_4x5x5", 4, 5, 5, 8, 3, 3, 1, 1, 2, 2},
+		{"ext3_8x3x3", 8, 3, 3, 8, 3, 3, 1, 1, 2, 2},
+	}
+	for _, s := range shapes {
+		x := New(s.c, s.h, s.w)
+		for i := range x.Data {
+			x.Data[i] = float64(i%7) * 0.25
+		}
+		k := New(s.oc, s.c, s.kh, s.kw)
+		for i := range k.Data {
+			k.Data[i] = float64(i%5) * 0.125
+		}
+		var a Arena
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				Conv2DInto(&a, x, k, s.padH, s.padW, s.strH, s.strW)
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package tensor
+
+import "fmt"
+
+// Float32 serving kernels. Training stays float64 throughout; a serving
+// snapshot may optionally quantize its estimator-head weights to float32
+// (half the memory traffic, twice the values per cache line) and run the
+// fused batched forward on these kernels instead. The quantized path is
+// never bit-identical to float64 — it is admitted only behind the accuracy
+// gate in internal/core (MAE delta vs the float64 path on a calibration
+// set), and refused otherwise.
+
+// F32FromF64 returns src rounded to float32.
+func F32FromF64(src []float64) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
+// AffineBatchF32Into computes X·Wᵀ + b into dst over flat float32 storage:
+// X is [bsz, in], W is [out, in], b is [out], dst is [bsz, out], all
+// row-major. The accumulator is float32 as well — the point of the f32 path
+// is bandwidth, and the accuracy gate judges the end-to-end error.
+func AffineBatchF32Into(dst, x, w, b []float32, bsz, in, out int) {
+	if len(x) < bsz*in || len(w) < out*in || len(b) < out || len(dst) < bsz*out {
+		panic(fmt.Sprintf("tensor: AffineBatchF32 size mismatch: x %d w %d b %d dst %d for [%d %d %d]",
+			len(x), len(w), len(b), len(dst), bsz, in, out))
+	}
+	for rr := 0; rr < bsz; rr += affineBlock {
+		rEnd := min(rr+affineBlock, bsz)
+		for ii := 0; ii < out; ii += affineBlock {
+			iEnd := min(ii+affineBlock, out)
+			for r := rr; r < rEnd; r++ {
+				xr := x[r*in : (r+1)*in : (r+1)*in]
+				orow := dst[r*out : (r+1)*out : (r+1)*out]
+				for i := ii; i < iEnd; i++ {
+					wrow := w[i*in : (i+1)*in : (i+1)*in]
+					var s float32
+					for j, v := range wrow {
+						s += v * xr[j]
+					}
+					orow[i] = s + b[i]
+				}
+			}
+		}
+	}
+}
+
+// ReLUInPlaceF32 applies max(0, x) element-wise in place.
+func ReLUInPlaceF32(v []float32) {
+	for i, x := range v {
+		if x < 0 || x != x { // negatives and NaN clamp to 0, like math.Max(0, x)
+			v[i] = 0
+		}
+	}
+}

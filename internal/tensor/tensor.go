@@ -372,29 +372,8 @@ func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	out := New(m, n)
-	// Bᵀ scratch: column j of B becomes the contiguous row j of bt.
-	bt := make([]float64, k*n)
-	transposeInto(bt, b.Data, k, n)
-	for ii := 0; ii < m; ii += matMulBlock {
-		iEnd := min(ii+matMulBlock, m)
-		for jj := 0; jj < n; jj += matMulBlock {
-			jEnd := min(jj+matMulBlock, n)
-			for i := ii; i < iEnd; i++ {
-				arow := a.Data[i*k : (i+1)*k : (i+1)*k]
-				orow := out.Data[i*n : (i+1)*n : (i+1)*n]
-				for j := jj; j < jEnd; j++ {
-					bcol := bt[j*k : (j+1)*k : (j+1)*k]
-					var s float64
-					for p, av := range arow {
-						s += av * bcol[p]
-					}
-					orow[j] = s
-				}
-			}
-		}
-	}
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b, nil)
 	return out
 }
 

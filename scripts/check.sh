@@ -49,6 +49,11 @@ echo "== bench smoke (internal/infer + internal/obs spans)"
 go test -run '^$' -bench=. -benchtime=200ms ./internal/infer/
 go test -run '^$' -bench 'BenchmarkSpan|BenchmarkTraceStoreOffer' -benchtime=100ms ./internal/obs/
 
+echo "== servebench batch sweep (uncached QPS vs MaxBatch, fused vs matvec; gate CPU-aware)"
+go run ./cmd/ttebench -servebench -servebench-batch-only -servebench-duration 1s \
+    -servebench-conc 16 -servebench-orders 200 -servebench-ods 100 \
+    -servebench-out BENCH_serve_sweep.json -servebench-fused-gate 1.02
+
 echo "== trainbench smoke (data-parallel training throughput; gate CPU-aware)"
 go run ./cmd/ttebench -trainbench -trainbench-orders 200 -trainbench-steps 10 \
     -trainbench-workers 1,2,4 -trainbench-gate 2
